@@ -1,0 +1,75 @@
+// Command astore-bench regenerates the tables and figures of the paper's
+// evaluation section. Each experiment is addressed by its paper id:
+//
+//	astore-bench -list
+//	astore-bench -exp table5 -sf 0.1
+//	astore-bench -exp all -sf 0.05 -workers 2 -runs 3
+//
+// Absolute times depend on the host and the scale factor; the shapes (who
+// wins, by what factor, where crossovers fall) are the reproduction target.
+// See EXPERIMENTS.md for the recorded paper-versus-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+
+	"astore/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (fig1, table2, fig8, table3, table4, table5, fig9, fig10) or 'all'")
+		sf      = flag.Float64("sf", 0.1, "benchmark scale factor (paper: 100)")
+		workers = flag.Int("workers", 1, "engine worker threads (paper: 32)")
+		runs    = flag.Int("runs", 3, "repetitions per measurement; minimum is reported")
+		seed    = flag.Int64("seed", 1, "data generation seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{SF: *sf, Workers: *workers, Runs: *runs, Seed: *seed}
+	var ids []string
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		e, ok := bench.Find(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "astore-bench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		// Isolate experiments from each other's heap history.
+		runtime.GC()
+		debug.FreeOSMemory()
+		fmt.Printf("# %s — %s\n", e.ID, e.Title)
+		reports, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "astore-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, r := range reports {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", r.ID, r.CSV())
+			} else {
+				fmt.Println(r.Format())
+			}
+		}
+	}
+}

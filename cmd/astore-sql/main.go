@@ -1,0 +1,129 @@
+// Command astore-sql is an interactive SQL shell over a generated benchmark
+// schema. Statements are the SPJGA subset A-Store executes; join conditions
+// are accepted and dropped (they live in the storage model as array index
+// references).
+//
+//	astore-sql -schema ssb -sf 0.05
+//	echo "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date
+//	      WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year" |
+//	  astore-sql -schema ssb
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"astore"
+	"astore/internal/datagen/ssb"
+	"astore/internal/datagen/tpch"
+)
+
+func main() {
+	var (
+		schemaName = flag.String("schema", "ssb", "dataset: ssb or tpch")
+		sf         = flag.Float64("sf", 0.05, "scale factor")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		workers    = flag.Int("workers", 1, "engine worker threads")
+	)
+	flag.Parse()
+
+	var root *astore.Table
+	switch *schemaName {
+	case "ssb":
+		root = ssb.Generate(ssb.Config{SF: *sf, Seed: *seed}).Lineorder
+	case "tpch":
+		root = tpch.Generate(tpch.Config{SF: *sf, Seed: *seed}).Lineitem
+	default:
+		fmt.Fprintf(os.Stderr, "astore-sql: unknown schema %q\n", *schemaName)
+		os.Exit(2)
+	}
+	eng, err := astore.Open(root, astore.Options{Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astore-sql:", err)
+		os.Exit(1)
+	}
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Printf("A-Store SQL shell — %s SF=%g, fact table %q (%d rows)\n",
+			*schemaName, *sf, root.Name, root.NumRows())
+		fmt.Println(`end statements with a blank line; prefix with EXPLAIN for the plan; \q quits`)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var stmt strings.Builder
+	prompt := func() {
+		if interactive {
+			if stmt.Len() == 0 {
+				fmt.Print("astore> ")
+			} else {
+				fmt.Print("   ...> ")
+			}
+		}
+	}
+	run := func(text string) {
+		text = strings.TrimSpace(text)
+		if text == "" {
+			return
+		}
+		explain := false
+		if lower := strings.ToLower(text); strings.HasPrefix(lower, "explain ") {
+			explain = true
+			text = text[len("explain "):]
+		}
+		q, err := astore.ParseQuery(text)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		if explain {
+			out, err := eng.Explain(q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Print(out)
+			return
+		}
+		t0 := time.Now()
+		res, err := eng.Run(q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%d rows, %v)\n", len(res.Rows), time.Since(t0).Round(time.Microsecond))
+	}
+
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		if strings.TrimSpace(line) == `\q` {
+			return
+		}
+		if strings.TrimSpace(line) == "" {
+			run(stmt.String())
+			stmt.Reset()
+		} else {
+			stmt.WriteString(line)
+			stmt.WriteByte('\n')
+			// Statements may also end with ';'.
+			if strings.HasSuffix(strings.TrimSpace(line), ";") {
+				run(stmt.String())
+				stmt.Reset()
+			}
+		}
+		prompt()
+	}
+	run(stmt.String())
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,126 @@
+// Command astore-ssb generates Star Schema Benchmark data in memory and
+// runs the 13 SSB queries against a chosen engine:
+//
+//	astore-ssb -sf 0.1 -engine astore
+//	astore-ssb -sf 0.1 -engine airscan_r_p -q Q3.1 -show
+//	astore-ssb -engine vector -workers 1
+//
+// Engines: astore (optimizer-driven A-Store), airscan_r, airscan_r_p,
+// airscan_c, airscan_c_p, airscan_c_p_g (the five variants of the paper's
+// Table 6), hashjoin (operator-at-a-time baseline), vector (vectorized
+// pipeline baseline), denorm (A-Store over the physically denormalized
+// universal table).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"astore/internal/baseline"
+	"astore/internal/core"
+	"astore/internal/datagen/ssb"
+	"astore/internal/query"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.05, "SSB scale factor")
+		engine  = flag.String("engine", "astore", "engine to run (see doc)")
+		qname   = flag.String("q", "", "run a single query (e.g. Q3.1); default all 13")
+		workers = flag.Int("workers", 1, "worker threads for A-Store variants")
+		runs    = flag.Int("runs", 3, "repetitions; minimum time reported")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		show    = flag.Bool("show", false, "print result rows")
+	)
+	flag.Parse()
+
+	fmt.Printf("generating SSB SF=%g ...\n", *sf)
+	t0 := time.Now()
+	data := ssb.Generate(ssb.Config{SF: *sf, Seed: *seed})
+	fmt.Printf("generated %d lineorder rows in %v\n", data.Lineorder.NumRows(), time.Since(t0).Round(time.Millisecond))
+
+	run, err := makeEngine(*engine, data, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astore-ssb:", err)
+		os.Exit(2)
+	}
+
+	queries := ssb.Queries()
+	if *qname != "" {
+		var filtered []*query.Query
+		for _, q := range queries {
+			if strings.EqualFold(q.Name, *qname) {
+				filtered = append(filtered, q)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "astore-ssb: no query %q\n", *qname)
+			os.Exit(2)
+		}
+		queries = filtered
+	}
+
+	var total time.Duration
+	for _, q := range queries {
+		var res *query.Result
+		bestD := time.Duration(1<<63 - 1)
+		for r := 0; r < *runs; r++ {
+			start := time.Now()
+			out, err := run(q)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "astore-ssb: %s: %v\n", q.Name, err)
+				os.Exit(1)
+			}
+			if d := time.Since(start); d < bestD {
+				bestD = d
+				res = out
+			}
+		}
+		total += bestD
+		fmt.Printf("%-6s %10.2f ms   %d group(s)\n", q.Name,
+			float64(bestD.Nanoseconds())/1e6, len(res.Rows))
+		if *show {
+			fmt.Print(res.Format())
+		}
+	}
+	fmt.Printf("%-6s %10.2f ms (average over %d queries, engine=%s)\n", "AVG",
+		float64(total.Nanoseconds())/1e6/float64(len(queries)), len(queries), *engine)
+}
+
+func makeEngine(name string, data *ssb.Data, workers int) (func(*query.Query) (*query.Result, error), error) {
+	variants := map[string]core.Variant{
+		"astore":        core.Auto,
+		"airscan_r":     core.RowWise,
+		"airscan_r_p":   core.RowWisePF,
+		"airscan_c":     core.ColWise,
+		"airscan_c_p":   core.ColWisePF,
+		"airscan_c_p_g": core.ColWisePFG,
+	}
+	if v, ok := variants[strings.ToLower(name)]; ok {
+		eng, err := core.New(data.Lineorder, core.Options{Variant: v, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		return eng.Run, nil
+	}
+	switch strings.ToLower(name) {
+	case "hashjoin":
+		return baseline.NewHashJoinEngine(data.Lineorder).Run, nil
+	case "vector":
+		return baseline.NewVectorEngine(data.Lineorder).Run, nil
+	case "denorm":
+		wide, err := baseline.Denormalize(data.Lineorder)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.New(wide, core.Options{Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		return eng.Run, nil
+	}
+	return nil, fmt.Errorf("unknown engine %q", name)
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a tiny star schema with the public API, wire foreign
+// keys as array index references, and run a SPJGA query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"astore"
+)
+
+func main() {
+	// Dimension: products. The array index is the primary key — product 0
+	// is "espresso", product 1 is "latte", and so on. No key column exists.
+	product := astore.NewTable("product")
+	product.MustAddColumn("p_name", astore.NewStrCol([]string{
+		"espresso", "latte", "flat white", "mocha",
+	}))
+	product.MustAddColumn("p_category", astore.NewDictColFrom([]string{
+		"classic", "milk", "milk", "milk",
+	}))
+
+	// Dimension: stores, with a dictionary-compressed city column.
+	store := astore.NewTable("store")
+	store.MustAddColumn("s_city", astore.NewDictColFrom([]string{
+		"Beijing", "Amsterdam", "Beijing",
+	}))
+
+	// Fact table: sales. Foreign keys hold row numbers of the dimensions
+	// (AIR), so joins are positional lookups — the schema behaves as one
+	// virtually denormalized universal table.
+	sales := astore.NewTable("sales")
+	sales.MustAddColumn("fk_product", astore.NewInt32Col([]int32{0, 1, 1, 2, 3, 0, 1, 2}))
+	sales.MustAddColumn("fk_store", astore.NewInt32Col([]int32{0, 0, 1, 2, 1, 2, 2, 0}))
+	sales.MustAddColumn("units", astore.NewInt64Col([]int64{2, 1, 3, 2, 1, 4, 2, 2}))
+	sales.MustAddColumn("price", astore.NewInt64Col([]int64{300, 450, 450, 475, 500, 300, 450, 475}))
+	sales.MustAddFK("fk_product", product)
+	sales.MustAddFK("fk_store", store)
+
+	eng, err := astore.Open(sales, astore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Revenue by city for milk-based drinks, largest first. The predicate
+	// on p_category and the grouping column s_city live on different
+	// dimension tables; the engine reaches both through AIR.
+	q := astore.NewQuery("milk-revenue-by-city").
+		Where(astore.StrEq("p_category", "milk")).
+		GroupByCols("s_city").
+		Agg(
+			astore.SumOf(astore.Mul(astore.C("units"), astore.C("price")), "revenue"),
+			astore.CountStar("sales"),
+		).
+		OrderDesc("revenue")
+
+	res, err := eng.Run(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+}

@@ -1,0 +1,255 @@
+package agg
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"astore/internal/expr"
+)
+
+func TestArrayAggFlatIndexRoundtrip(t *testing.T) {
+	a, err := NewArrayAgg([]int{3, 4, 5}, []expr.AggKind{expr.Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cells() != 60 {
+		t.Fatalf("Cells = %d, want 60", a.Cells())
+	}
+	seen := make(map[int32]bool)
+	for x := int32(0); x < 3; x++ {
+		for y := int32(0); y < 4; y++ {
+			for z := int32(0); z < 5; z++ {
+				f := a.FlatIndex([]int32{x, y, z})
+				if f < 0 || int(f) >= 60 || seen[f] {
+					t.Fatalf("flat index %d invalid or duplicated", f)
+				}
+				seen[f] = true
+				ids := a.Unflatten(f)
+				if ids[0] != x || ids[1] != y || ids[2] != z {
+					t.Fatalf("Unflatten(%d) = %v, want [%d %d %d]", f, ids, x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestArrayAggErrors(t *testing.T) {
+	if _, err := NewArrayAgg([]int{0}, nil); err == nil {
+		t.Fatal("zero-cardinality dimension accepted")
+	}
+	if _, err := NewArrayAgg([]int{1 << 14, 1 << 14}, nil); err == nil {
+		t.Fatal("oversized array accepted")
+	}
+	a, _ := NewArrayAgg([]int{2}, []expr.AggKind{expr.Sum})
+	b, _ := NewArrayAgg([]int{3}, []expr.AggKind{expr.Sum})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of mismatched arrays accepted")
+	}
+}
+
+func TestArrayAggAllKinds(t *testing.T) {
+	kinds := []expr.AggKind{expr.Sum, expr.Count, expr.Min, expr.Max, expr.Avg}
+	a, err := NewArrayAgg([]int{2}, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{3, 7, 2} { // group 0
+		a.AddRow(0)
+		for k := range kinds {
+			a.Update(0, k, v)
+		}
+	}
+	a.AddRow(1) // group 1 with one row
+	for k := range kinds {
+		a.Update(1, k, 10)
+	}
+
+	gs := a.Extract()
+	if len(gs) != 2 {
+		t.Fatalf("groups = %d, want 2", len(gs))
+	}
+	g0 := gs[0]
+	if g0.Count != 3 {
+		t.Fatalf("count = %d", g0.Count)
+	}
+	want := []float64{12, 3, 2, 7, 4}
+	for k, w := range want {
+		if math.Abs(g0.Vals[k]-w) > 1e-9 {
+			t.Errorf("kind %v = %g, want %g", kinds[k], g0.Vals[k], w)
+		}
+	}
+	if gs[1].Ids[0] != 1 || gs[1].Vals[0] != 10 {
+		t.Errorf("group 1 = %+v", gs[1])
+	}
+}
+
+func TestArrayAggMerge(t *testing.T) {
+	kinds := []expr.AggKind{expr.Sum, expr.Min, expr.Max}
+	a, _ := NewArrayAgg([]int{4}, kinds)
+	b, _ := NewArrayAgg([]int{4}, kinds)
+	a.AddRow(1)
+	a.Update(1, 0, 5)
+	a.Update(1, 1, 5)
+	a.Update(1, 2, 5)
+	b.AddRow(1)
+	b.Update(1, 0, 3)
+	b.Update(1, 1, 3)
+	b.Update(1, 2, 3)
+	b.AddRow(2)
+	b.Update(2, 0, 9)
+	b.Update(2, 1, 9)
+	b.Update(2, 2, 9)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	gs := a.Extract()
+	if len(gs) != 2 {
+		t.Fatalf("groups after merge = %d", len(gs))
+	}
+	if gs[0].Vals[0] != 8 || gs[0].Vals[1] != 3 || gs[0].Vals[2] != 5 || gs[0].Count != 2 {
+		t.Errorf("merged group 1 = %+v", gs[0])
+	}
+	if gs[1].Vals[0] != 9 {
+		t.Errorf("merged group 2 = %+v", gs[1])
+	}
+}
+
+func TestHashAggBasics(t *testing.T) {
+	kinds := []expr.AggKind{expr.Sum, expr.Avg, expr.Count, expr.Min, expr.Max}
+	h := NewHashAgg(kinds)
+	add := func(key string, v float64) {
+		c := h.Upsert([]byte(key))
+		c.Count++
+		for k := range kinds {
+			c.Update(kinds, k, v)
+		}
+	}
+	add("a", 4)
+	add("a", 6)
+	add("b", 1)
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	cells := h.Extract()
+	if len(cells) != 2 || cells[0].Key() != "a" || cells[1].Key() != "b" {
+		t.Fatalf("extraction order broken: %v", cells)
+	}
+	a := cells[0]
+	if a.Vals[0] != 10 || a.Vals[1] != 5 || a.Vals[2] != 2 || a.Vals[3] != 4 || a.Vals[4] != 6 {
+		t.Errorf("cell a = %+v", a.Vals)
+	}
+	if len(h.Kinds()) != 5 {
+		t.Error("Kinds lost")
+	}
+}
+
+func TestHashAggMerge(t *testing.T) {
+	kinds := []expr.AggKind{expr.Sum, expr.Min, expr.Max}
+	h1 := NewHashAgg(kinds)
+	h2 := NewHashAgg(kinds)
+	for i, h := range []*HashAgg{h1, h2} {
+		c := h.Upsert([]byte("x"))
+		c.Count++
+		v := float64(i + 1) // 1 then 2
+		for k := range kinds {
+			c.Update(kinds, k, v)
+		}
+	}
+	c2 := h2.Upsert([]byte("y"))
+	c2.Count++
+	c2.Update(kinds, 0, 7)
+
+	h1.Merge(h2)
+	if h1.Len() != 2 {
+		t.Fatalf("merged Len = %d", h1.Len())
+	}
+	x := h1.Extract()[0]
+	if x.Count != 2 || x.Vals[0] != 3 || x.Vals[1] != 1 || x.Vals[2] != 2 {
+		t.Errorf("merged x = %+v count=%d", x.Vals, x.Count)
+	}
+}
+
+// Property: ArrayAgg and HashAgg agree for random data, including after a
+// random two-way partition and merge (the parallel execution pattern).
+func TestArrayVsHashQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{rng.Intn(4) + 1, rng.Intn(5) + 1}
+		kinds := []expr.AggKind{expr.Sum, expr.Min, expr.Max, expr.Avg, expr.Count}
+		full, _ := NewArrayAgg(dims, kinds)
+		pa, _ := NewArrayAgg(dims, kinds)
+		pb, _ := NewArrayAgg(dims, kinds)
+		ha := NewHashAgg(kinds)
+
+		n := rng.Intn(500)
+		key := make([]byte, 8)
+		for i := 0; i < n; i++ {
+			x := int32(rng.Intn(dims[0]))
+			y := int32(rng.Intn(dims[1]))
+			v := float64(rng.Intn(100))
+			flat := full.FlatIndex([]int32{x, y})
+
+			full.AddRow(flat)
+			part := pa
+			if rng.Intn(2) == 0 {
+				part = pb
+			}
+			part.AddRow(flat)
+			binary.LittleEndian.PutUint32(key[0:], uint32(x))
+			binary.LittleEndian.PutUint32(key[4:], uint32(y))
+			c := ha.Upsert(key)
+			c.Count++
+			for k := range kinds {
+				full.Update(flat, k, v)
+				part.Update(flat, k, v)
+				c.Update(kinds, k, v)
+			}
+		}
+		if err := pa.Merge(pb); err != nil {
+			return false
+		}
+
+		gFull := full.Extract()
+		gPart := pa.Extract()
+		if len(gFull) != len(gPart) || len(gFull) != ha.Len() {
+			return false
+		}
+		for i := range gFull {
+			if gFull[i].Count != gPart[i].Count {
+				return false
+			}
+			for k := range kinds {
+				if math.Abs(gFull[i].Vals[k]-gPart[i].Vals[k]) > 1e-9 {
+					return false
+				}
+			}
+			// Check against the hash cell with the same key.
+			binary.LittleEndian.PutUint32(key[0:], uint32(gFull[i].Ids[0]))
+			binary.LittleEndian.PutUint32(key[4:], uint32(gFull[i].Ids[1]))
+			hc := ha.Upsert(key)
+			if hc.Count != gFull[i].Count {
+				return false
+			}
+			for k, kind := range kinds {
+				hv := hc.Vals[k]
+				switch kind {
+				case expr.Avg:
+					hv /= float64(hc.Count)
+				case expr.Count:
+					hv = float64(hc.Count)
+				}
+				if math.Abs(gFull[i].Vals[k]-hv) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"astore/internal/expr"
+	"astore/internal/query"
+	"astore/internal/storage"
+	"astore/internal/testutil"
+)
+
+// TestBaselineEnginesMatchOracleStar: both conventional engines must return
+// exactly the oracle's result on the full query battery.
+func TestBaselineEnginesMatchOracleStar(t *testing.T) {
+	fact := testutil.BuildStar(42, 5000)
+	engines := []Engine{NewHashJoinEngine(fact), NewVectorEngine(fact)}
+	for _, q := range testutil.StarQueries() {
+		want, err := testutil.NaiveRun(fact, q)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", q.Name, err)
+		}
+		for _, eng := range engines {
+			got, err := eng.Run(q)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", q.Name, eng.Name(), err)
+			}
+			if err := query.Diff(want, got, 1e-9); err != nil {
+				t.Errorf("%s [%s]: %v", q.Name, eng.Name(), err)
+			}
+		}
+	}
+}
+
+// TestBaselineEnginesMatchOracleSnowflake exercises the recursive hash
+// semi-join qualification through order -> customer -> nation -> region.
+func TestBaselineEnginesMatchOracleSnowflake(t *testing.T) {
+	fact := testutil.BuildSnowflake(7, 4000)
+	engines := []Engine{NewHashJoinEngine(fact), NewVectorEngine(fact)}
+	for _, q := range testutil.SnowflakeQueries() {
+		want, err := testutil.NaiveRun(fact, q)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", q.Name, err)
+		}
+		for _, eng := range engines {
+			got, err := eng.Run(q)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", q.Name, eng.Name(), err)
+			}
+			if err := query.Diff(want, got, 1e-9); err != nil {
+				t.Errorf("%s [%s]: %v", q.Name, eng.Name(), err)
+			}
+		}
+	}
+}
+
+// TestDenormalizePreservesQueries: any engine over the materialized
+// universal table must return the same results as over the star schema —
+// with the *same* query text, since universal-table columns keep their
+// names.
+func TestDenormalizePreservesQueries(t *testing.T) {
+	fact := testutil.BuildStar(3, 3000)
+	wide, err := Denormalize(fact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.NumRows() != fact.NumRows() {
+		t.Fatalf("wide rows = %d, want %d", wide.NumRows(), fact.NumRows())
+	}
+	if len(wide.FKs()) != 0 {
+		t.Fatal("denormalized table still has foreign keys")
+	}
+	for _, q := range testutil.StarQueries() {
+		want, err := testutil.NaiveRun(fact, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eng := range []Engine{NewHashJoinEngine(wide), NewVectorEngine(wide)} {
+			got, err := eng.Run(q)
+			if err != nil {
+				t.Fatalf("%s [%s_D]: %v", q.Name, eng.Name(), err)
+			}
+			if err := query.Diff(want, got, 1e-9); err != nil {
+				t.Errorf("%s [%s_D]: %v", q.Name, eng.Name(), err)
+			}
+		}
+	}
+}
+
+// TestDenormalizeSnowflake flattens a 4-hop snowflake.
+func TestDenormalizeSnowflake(t *testing.T) {
+	fact := testutil.BuildSnowflake(11, 2000)
+	wide, err := Denormalize(fact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range testutil.SnowflakeQueries() {
+		want, err := testutil.NaiveRun(fact, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewVectorEngine(wide).Run(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if err := query.Diff(want, got, 1e-9); err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+		}
+	}
+}
+
+// TestDenormalizeMemoryBlowup: the universal table must cost substantially
+// more memory than the star schema (the space half of the paper's Table 5
+// trade-off: 262 GB vs 45.8 GB at SF=100).
+func TestDenormalizeMemoryBlowup(t *testing.T) {
+	fact := testutil.BuildStar(5, 20000)
+	star := fact.MemBytes() +
+		fact.FK("f_dk").MemBytes() + fact.FK("f_ck").MemBytes() + fact.FK("f_pk").MemBytes()
+	wide, err := Denormalize(fact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.MemBytes() <= star {
+		t.Fatalf("denormalized table not larger: %d vs %d", wide.MemBytes(), star)
+	}
+}
+
+func TestDenormalizePropagatesDeletes(t *testing.T) {
+	fact := testutil.BuildStar(5, 500)
+	for _, r := range []int{5, 100, 499} {
+		if err := fact.Delete(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wide, err := Denormalize(fact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.NumLive() != 497 {
+		t.Fatalf("wide live rows = %d, want 497", wide.NumLive())
+	}
+	q := query.New("q").Agg(expr.CountStar("n"))
+	res, err := NewVectorEngine(wide).Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Aggs[0] != 497 {
+		t.Fatalf("count over deleted rows = %+v", res.Rows)
+	}
+}
+
+func TestDenormalizeRejectsDuplicateNames(t *testing.T) {
+	dim := storage.NewTable("d")
+	dim.MustAddColumn("x", storage.NewInt64Col([]int64{1}))
+	fact := storage.NewTable("f")
+	fact.MustAddColumn("fk", storage.NewInt32Col([]int32{0}))
+	fact.MustAddColumn("x", storage.NewInt64Col([]int64{9}))
+	fact.MustAddFK("fk", dim)
+	if _, err := Denormalize(fact); err == nil {
+		t.Fatal("duplicate column names accepted")
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	fact := testutil.BuildStar(1, 100)
+	for _, eng := range []Engine{NewHashJoinEngine(fact), NewVectorEngine(fact)} {
+		cases := []*query.Query{
+			query.New("bad-pred").Where(expr.IntEq("nope", 1)).Agg(expr.CountStar("c")),
+			query.New("bad-group").GroupByCols("nope").Agg(expr.CountStar("c")),
+			query.New("bad-agg").Agg(expr.SumOf(expr.C("nope"), "s")),
+			query.New("no-aggs"),
+			query.New("float-group").GroupByCols("f_frac").Agg(expr.CountStar("c")),
+		}
+		for _, q := range cases {
+			if _, err := eng.Run(q); err == nil {
+				t.Errorf("[%s] %s: no error", eng.Name(), q.Name)
+			}
+		}
+	}
+}
+
+func TestPhaseStatsPopulated(t *testing.T) {
+	fact := testutil.BuildStar(2, 3000)
+	q := query.New("q").
+		Where(expr.StrEq("c_region", "ASIA")).
+		GroupByCols("c_nation").
+		Agg(expr.SumOf(expr.C("f_revenue"), "rev"))
+	he := NewHashJoinEngine(fact)
+	if _, err := he.Run(q); err != nil {
+		t.Fatal(err)
+	}
+	if he.Stats.PredNS <= 0 || he.Stats.GroupNS <= 0 {
+		t.Errorf("hashjoin stats = %+v", he.Stats)
+	}
+	ve := NewVectorEngine(fact)
+	if _, err := ve.Run(q); err != nil {
+		t.Fatal(err)
+	}
+	if ve.Stats.PredNS <= 0 {
+		t.Errorf("vector stats = %+v", ve.Stats)
+	}
+}
+
+// Property: on random star schemas and random queries, both baseline
+// engines and both denormalized variants agree with the oracle.
+func TestBaselineQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fact := testutil.BuildStar(seed, rng.Intn(1500)+100)
+		q := query.New("rand")
+		if rng.Intn(2) == 0 {
+			q.Where(expr.IntBetween("f_discount", 0, int64(rng.Intn(8))))
+		}
+		if rng.Intn(2) == 0 {
+			q.Where(expr.StrEq("c_region", "ASIA"))
+		}
+		if rng.Intn(2) == 0 {
+			q.Where(expr.StrIn("p_brand", "BRAND#1", "BRAND#7"))
+		}
+		switch rng.Intn(3) {
+		case 0:
+			q.GroupByCols("c_nation")
+		case 1:
+			q.GroupByCols("d_year", "p_brand")
+		}
+		q.Agg(expr.CountStar("cnt"), expr.SumOf(expr.C("f_revenue"), "rev"))
+
+		want, err := testutil.NaiveRun(fact, q)
+		if err != nil {
+			return false
+		}
+		wide, err := Denormalize(fact)
+		if err != nil {
+			return false
+		}
+		for _, eng := range []Engine{
+			NewHashJoinEngine(fact), NewVectorEngine(fact),
+			NewHashJoinEngine(wide), NewVectorEngine(wide),
+		} {
+			got, err := eng.Run(q)
+			if err != nil {
+				return false
+			}
+			if err := query.Diff(want, got, 1e-9); err != nil {
+				t.Logf("seed %d [%s]: %v", seed, eng.Name(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"testing"
+
+	"astore/internal/expr"
+	"astore/internal/query"
+	"astore/internal/storage"
+	"astore/internal/testutil"
+)
+
+// TestBaselinesRespectDeletionVectors: lazily deleted fact and dimension
+// rows must be invisible to both baseline engines (§4.4: the deletion
+// vector filters out-of-date tuples).
+func TestBaselinesRespectDeletionVectors(t *testing.T) {
+	fact := testutil.BuildStar(61, 1200)
+	part := fact.FK("f_pk")
+
+	// Retarget and delete a dimension row, then delete some fact rows.
+	fk := fact.Column("f_pk").(*storage.Int32Col)
+	for i, v := range fk.V {
+		if v == 7 {
+			fk.V[i] = 8
+		}
+	}
+	if err := part.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{0, 500, 1199} {
+		if err := fact.Delete(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := query.New("q").
+		Where(expr.IntLe("p_size", 15)).
+		GroupByCols("p_brand").
+		Agg(expr.CountStar("n"), expr.SumOf(expr.C("f_revenue"), "rev")).
+		OrderAsc("p_brand")
+	want, err := testutil.NaiveRun(fact, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []Engine{NewHashJoinEngine(fact), NewVectorEngine(fact)} {
+		got, err := eng.Run(q)
+		if err != nil {
+			t.Fatalf("[%s]: %v", eng.Name(), err)
+		}
+		if err := query.Diff(want, got, 1e-9); err != nil {
+			t.Errorf("[%s]: %v", eng.Name(), err)
+		}
+	}
+}
+
+// TestBaselineSkipsUnreferencedDimensions: a query touching no dimension
+// must not build any dimension hash table (a real engine prunes unused
+// joins; prepare's dims list is observable through prep).
+func TestBaselineSkipsUnreferencedDimensions(t *testing.T) {
+	fact := testutil.BuildStar(62, 300)
+	q := query.New("q").
+		Where(expr.IntGe("f_quantity", 10)).
+		GroupByCols("f_tag").
+		Agg(expr.CountStar("n"))
+	p, err := prepare(fact, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.dims) != 0 {
+		t.Fatalf("prepared %d dimension plans for a fact-only query", len(p.dims))
+	}
+}

@@ -1,0 +1,463 @@
+package baseline
+
+import (
+	"fmt"
+
+	"astore/internal/expr"
+	"astore/internal/join"
+	"astore/internal/query"
+	"astore/internal/schema"
+	"astore/internal/storage"
+)
+
+func buildGraph(root *storage.Table) (*schema.Graph, error) { return schema.Build(root) }
+
+// boundPred is a predicate bound to a physical column.
+type boundPred struct {
+	pred expr.Pred
+	col  storage.Column
+}
+
+// dimPlan is one first-level dimension prepared for value-based hash joins:
+// a hash table over the keys of qualifying dimension rows (qualification
+// includes predicates anywhere in the dimension's subtree, applied via
+// recursive hash semi-joins), plus the group ids and measure values needed
+// from the subtree, gathered per qualifying row.
+type dimPlan struct {
+	table  *storage.Table
+	fkVals []int32 // root's FK column data (treated as opaque key values)
+	ht     *join.HashTable
+
+	// groupSlots[i] corresponds to prep.groups entries owned by this dim;
+	// ids[i][p] is the dense group id for hash-table build position p.
+	groupSlots []int
+	ids        [][]int32
+
+	// measures maps column name -> per-build-position value.
+	measures map[string][]float64
+}
+
+// groupSource describes where one GROUP BY column's dense ids come from.
+type groupSource struct {
+	name string
+	// Root-sourced ids:
+	onRoot bool
+	codes  []int32 // dict codes
+	dict   *storage.Dict
+	i32    []int32
+	i64    []int64
+	base   int64
+	// Dimension-sourced ids:
+	dimIdx int
+	slot   int
+	vals   []query.Value // decode table (dimension-sourced)
+}
+
+func (gs *groupSource) decode(id int32) query.Value {
+	switch {
+	case gs.dict != nil:
+		return query.StrValue(gs.dict.Value(id))
+	case gs.onRoot:
+		return query.NumValue(float64(gs.base + int64(id)))
+	default:
+		return gs.vals[id]
+	}
+}
+
+// prep is the shared query preparation of both baseline engines.
+type prep struct {
+	g         *schema.Graph
+	root      *storage.Table
+	rootPreds []boundPred
+	dims      []*dimPlan
+	groups    []*groupSource
+	kinds     []expr.AggKind
+
+	// aggEval evaluates aggregate k for the current row context: root row
+	// r plus the probed build position per dimension (pos is aliased by
+	// the evaluators and mutated per row by the executor).
+	pos      []int32
+	aggEvals []func(r int32) float64
+}
+
+// prepare resolves the query against the schema and builds the dimension
+// hash tables. This is the build side both conventional engines pay before
+// scanning the fact table.
+func prepare(root *storage.Table, q *query.Query) (*prep, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := buildGraph(root)
+	if err != nil {
+		return nil, err
+	}
+	p := &prep{g: g, root: root}
+
+	// Bucket predicates by owning table.
+	predsByTable := make(map[*storage.Table][]boundPred)
+	for _, pr := range q.Preds {
+		b, err := g.Resolve(pr.Col)
+		if err != nil {
+			return nil, err
+		}
+		if b.OnRoot() {
+			p.rootPreds = append(p.rootPreds, boundPred{pred: pr, col: b.Col})
+			continue
+		}
+		predsByTable[b.Table] = append(predsByTable[b.Table], boundPred{pred: pr, col: b.Col})
+	}
+
+	// Determine which first-level dimensions the query touches, and what
+	// each dimension subtree must deliver (group columns, measure columns).
+	needs := make(map[*storage.Table]*dimNeed) // keyed by first-level dim
+	firstLevel := func(t *storage.Table) (*storage.Table, error) {
+		path, ok := g.PathTo(t)
+		if !ok || len(path) == 0 {
+			return nil, fmt.Errorf("baseline: table %s is not a dimension", t.Name)
+		}
+		return path[0].To, nil
+	}
+	getNeed := func(t *storage.Table) (*dimNeed, error) {
+		fl, err := firstLevel(t)
+		if err != nil {
+			return nil, err
+		}
+		nd := needs[fl]
+		if nd == nil {
+			nd = &dimNeed{measure: make(map[string]*schema.Binding)}
+			needs[fl] = nd
+		}
+		return nd, nil
+	}
+	for t := range predsByTable {
+		nd, err := getNeed(t)
+		if err != nil {
+			return nil, err
+		}
+		nd.hasPred = true
+	}
+
+	p.groups = make([]*groupSource, len(q.GroupBy))
+	for i, name := range q.GroupBy {
+		b, err := g.Resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		if b.OnRoot() {
+			gs, err := rootGroupSource(name, b.Col)
+			if err != nil {
+				return nil, err
+			}
+			p.groups[i] = gs
+			continue
+		}
+		nd, err := getNeed(b.Table)
+		if err != nil {
+			return nil, err
+		}
+		nd.groupCols = append(nd.groupCols, i)
+	}
+
+	measureBindings := make(map[string]*schema.Binding)
+	for _, a := range q.Aggs {
+		p.kinds = append(p.kinds, a.Kind)
+		if a.Expr == nil {
+			continue
+		}
+		for _, name := range expr.Cols(a.Expr) {
+			b, err := g.Resolve(name)
+			if err != nil {
+				return nil, err
+			}
+			measureBindings[name] = b
+			if !b.OnRoot() {
+				nd, err := getNeed(b.Table)
+				if err != nil {
+					return nil, err
+				}
+				nd.measure[name] = b
+			}
+		}
+	}
+
+	// Build one dimPlan per needed first-level dimension, in schema order
+	// for determinism.
+	dimIndex := make(map[*storage.Table]int)
+	for _, t := range g.Tables() {
+		nd, ok := needs[t]
+		if !ok {
+			continue
+		}
+		dp, err := p.buildDimPlan(t, nd, predsByTable, q)
+		if err != nil {
+			return nil, err
+		}
+		dimIndex[t] = len(p.dims)
+		p.dims = append(p.dims, dp)
+	}
+	// Wire dimension-sourced group decoders to their dim index.
+	for di, dp := range p.dims {
+		for si, gi := range dp.groupSlots {
+			p.groups[gi].dimIdx = di
+			p.groups[gi].slot = si
+		}
+	}
+	for _, gs := range p.groups {
+		if gs == nil {
+			return nil, fmt.Errorf("baseline: internal error: unresolved group source")
+		}
+	}
+
+	// Compile aggregate evaluators against the row context (root row +
+	// probed dimension positions).
+	p.pos = make([]int32, len(p.dims))
+	p.aggEvals = make([]func(int32) float64, len(q.Aggs))
+	for k, a := range q.Aggs {
+		if a.Expr == nil {
+			continue
+		}
+		ev, err := expr.Compile(a.Expr, func(name string) (func(int32) float64, error) {
+			b := measureBindings[name]
+			if b.OnRoot() {
+				return expr.ColAccessor(b.Col)
+			}
+			fl, _ := firstLevel(b.Table)
+			di := dimIndex[fl]
+			payload := p.dims[di].measures[name]
+			pos := p.pos
+			return func(int32) float64 { return payload[pos[di]] }, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.aggEvals[k] = ev
+	}
+	return p, nil
+}
+
+// qualify computes the qualifying-row bitmap of a dimension-subtree table:
+// its own predicates, semi-joined (by value, through hash tables) with the
+// qualifying rows of every child table that carries predicates.
+func qualify(g *schema.Graph, t *storage.Table, predsByTable map[*storage.Table][]boundPred) (*storage.Bitmap, error) {
+	vec := storage.NewBitmap(t.NumRows())
+	vec.SetAll()
+	if del := t.Deleted(); del != nil {
+		vec.AndNot(del)
+	}
+	tmp := storage.NewBitmap(t.NumRows())
+	for _, bp := range predsByTable[t] {
+		if err := bp.pred.Bitmap(bp.col, tmp); err != nil {
+			return nil, err
+		}
+		vec.And(tmp)
+	}
+	for _, fkCol := range t.ColumnNames() {
+		child := t.FK(fkCol)
+		if child == nil || !subtreeHasPreds(child, predsByTable) {
+			continue
+		}
+		cq, err := qualify(g, child, predsByTable)
+		if err != nil {
+			return nil, err
+		}
+		keys := cq.AppendSet(nil)
+		ht := join.NewHashTable(keys)
+		fk := t.Column(fkCol).(*storage.Int32Col).V
+		for i := 0; i < t.NumRows(); i++ {
+			if vec.Get(i) && ht.Lookup(fk[i]) < 0 {
+				vec.Clear(i)
+			}
+		}
+	}
+	return vec, nil
+}
+
+// subtreeHasPreds reports whether t or any table referenced from t carries
+// predicates.
+func subtreeHasPreds(t *storage.Table, predsByTable map[*storage.Table][]boundPred) bool {
+	if len(predsByTable[t]) > 0 {
+		return true
+	}
+	for _, ref := range t.FKs() {
+		if subtreeHasPreds(ref, predsByTable) {
+			return true
+		}
+	}
+	return false
+}
+
+// dimNeed records what a query requires from one first-level dimension's
+// subtree.
+type dimNeed struct {
+	groupCols []int // indexes into q.GroupBy
+	measure   map[string]*schema.Binding
+	hasPred   bool
+}
+
+// buildDimPlan builds the hash table over qualifying dimension keys and
+// gathers the subtree's group ids and measure values per build position.
+func (p *prep) buildDimPlan(t *storage.Table, nd *dimNeed, predsByTable map[*storage.Table][]boundPred, q *query.Query) (*dimPlan, error) {
+	var fkVals []int32
+	for _, col := range p.root.ColumnNames() {
+		if p.root.FK(col) == t {
+			fkVals = p.root.Column(col).(*storage.Int32Col).V
+			break
+		}
+	}
+	if fkVals == nil {
+		return nil, fmt.Errorf("baseline: no root foreign key referencing %s", t.Name)
+	}
+
+	qual, err := qualify(p.g, t, predsByTable)
+	if err != nil {
+		return nil, err
+	}
+	buildKeys := qual.AppendSet(nil) // qualifying row positions double as key values
+	dp := &dimPlan{
+		table:    t,
+		fkVals:   fkVals,
+		ht:       join.NewHashTable(buildKeys),
+		measures: make(map[string][]float64),
+	}
+
+	// pathFromDim returns the FK chain from t (exclusive) to the binding's
+	// owning table, for positional gathering within the subtree.
+	pathFromDim := func(b *schema.Binding) [][]int32 {
+		fks := make([][]int32, 0, len(b.Path)-1)
+		for _, s := range b.Path[1:] {
+			fks = append(fks, s.From.Column(s.FKCol).(*storage.Int32Col).V)
+		}
+		return fks
+	}
+	rowsAt := func(fks [][]int32) []int32 {
+		rows := make([]int32, len(buildKeys))
+		for j, r := range buildKeys {
+			for _, fk := range fks {
+				r = fk[r]
+			}
+			rows[j] = r
+		}
+		return rows
+	}
+
+	for _, gi := range nd.groupCols {
+		b, err := p.g.Resolve(q.GroupBy[gi])
+		if err != nil {
+			return nil, err
+		}
+		rows := rowsAt(pathFromDim(b))
+		ids, vals, err := internValues(b.Col, rows)
+		if err != nil {
+			return nil, err
+		}
+		dp.groupSlots = append(dp.groupSlots, gi)
+		dp.ids = append(dp.ids, ids)
+		p.groups[gi] = &groupSource{name: q.GroupBy[gi], vals: vals}
+	}
+	for name, b := range nd.measure {
+		acc, err := expr.ColAccessor(b.Col)
+		if err != nil {
+			return nil, err
+		}
+		rows := rowsAt(pathFromDim(b))
+		vals := make([]float64, len(buildKeys))
+		for j, r := range rows {
+			vals[j] = acc(r)
+		}
+		dp.measures[name] = vals
+	}
+	return dp, nil
+}
+
+// internValues assigns dense ids to the values of col at the given rows, in
+// first-appearance order, returning the ids and the decode table.
+func internValues(col storage.Column, rows []int32) ([]int32, []query.Value, error) {
+	ids := make([]int32, len(rows))
+	var vals []query.Value
+	switch c := col.(type) {
+	case *storage.DictCol:
+		codeID := make([]int32, c.Dict.Len())
+		for i := range codeID {
+			codeID[i] = -1
+		}
+		for j, r := range rows {
+			code := c.Codes[r]
+			if codeID[code] < 0 {
+				codeID[code] = int32(len(vals))
+				vals = append(vals, query.StrValue(c.Dict.Value(code)))
+			}
+			ids[j] = codeID[code]
+		}
+	case *storage.StrCol:
+		byStr := make(map[string]int32)
+		for j, r := range rows {
+			s := c.V[r]
+			id, ok := byStr[s]
+			if !ok {
+				id = int32(len(vals))
+				byStr[s] = id
+				vals = append(vals, query.StrValue(s))
+			}
+			ids[j] = id
+		}
+	case *storage.Int32Col, *storage.Int64Col:
+		byNum := make(map[int64]int32)
+		for j, r := range rows {
+			v, _ := storage.Int64At(col, int(r))
+			id, ok := byNum[v]
+			if !ok {
+				id = int32(len(vals))
+				byNum[v] = id
+				vals = append(vals, query.NumValue(float64(v)))
+			}
+			ids[j] = id
+		}
+	default:
+		return nil, nil, fmt.Errorf("baseline: unsupported group column type %s", col.Type())
+	}
+	return ids, vals, nil
+}
+
+// rootGroupSource prepares dense group ids for a root-table group column.
+func rootGroupSource(name string, col storage.Column) (*groupSource, error) {
+	switch c := col.(type) {
+	case *storage.DictCol:
+		return &groupSource{name: name, onRoot: true, codes: c.Codes, dict: c.Dict}, nil
+	case *storage.Int32Col:
+		var lo int32
+		if len(c.V) > 0 {
+			lo = c.V[0]
+			for _, x := range c.V {
+				if x < lo {
+					lo = x
+				}
+			}
+		}
+		return &groupSource{name: name, onRoot: true, i32: c.V, base: int64(lo)}, nil
+	case *storage.Int64Col:
+		var lo int64
+		if len(c.V) > 0 {
+			lo = c.V[0]
+			for _, x := range c.V {
+				if x < lo {
+					lo = x
+				}
+			}
+		}
+		return &groupSource{name: name, onRoot: true, i64: c.V, base: lo}, nil
+	default:
+		return nil, fmt.Errorf("baseline: unsupported root group column type %s for %s", col.Type(), name)
+	}
+}
+
+// id returns the dense id of a root-sourced group column at root row r.
+func (gs *groupSource) rootID(r int32) int32 {
+	switch {
+	case gs.codes != nil:
+		return gs.codes[r]
+	case gs.i32 != nil:
+		return gs.i32[r] - int32(gs.base)
+	default:
+		return int32(gs.i64[r] - gs.base)
+	}
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"astore/internal/join"
+)
+
+func init() {
+	register(Experiment{
+		ID: "crossover",
+		Title: "NPO/PRO cache crossover (Table 2 discussion: NPO wins while " +
+			"the shared hash table fits cache, PRO wins beyond)",
+		Run: runCrossover,
+	})
+}
+
+// runCrossover sweeps the dimension size at a fixed fact size so the NPO
+// shared hash table walks out of the cache hierarchy while PRO's
+// partitioned fragments stay cache-sized. The paper's Table 2 shows the
+// same effect between its small dimensions (NPO ≈ 1 cycle/tuple) and its
+// large ones (NPO 15–38 cycles/tuple, PRO flat at 5–12). The largest sizes
+// here need roughly 2 GB of RAM; AIR is included as the reference floor.
+//
+// Note: on hosts with very large last-level caches the crossover moves to
+// the right (the paper's Xeon E5-2670 has a 20 MB L3; a 256 MB L3 keeps NPO
+// cached up to dimensions of tens of millions of rows).
+func runCrossover(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	// The sweep is absolute (it probes the host's cache hierarchy), but SF
+	// scales the fact side so tiny configurations stay cheap.
+	nFact := int(64_000_000 * (cfg.SF / 0.1))
+	if nFact < 1_000_000 {
+		nFact = 1_000_000
+	}
+	rep := &Report{
+		ID:      "crossover",
+		Title:   fmt.Sprintf("probe %d fact rows against growing dimensions, ns/tuple", nFact),
+		Headers: []string{"dim rows", "NPO", "PRO", "AIR", "NPO/PRO"},
+		Notes: []string{
+			"NPO/PRO > 1 marks the region where partitioning pays off (paper: large TPC-H/TPC-DS dims, workloads A/B)",
+		},
+	}
+	for _, nDim := range []int{1 << 16, 1 << 20, 1 << 22, 1 << 24, 1 << 25} {
+		if nDim > nFact {
+			break
+		}
+		in := join.MakeInput(nDim, nFact, cfg.Seed+77)
+		dNPO, err := best(cfg.Runs, func() error {
+			join.NPO(in.DimKeys, in.Payload, in.FK, cfg.Workers)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		dPRO, err := best(cfg.Runs, func() error {
+			join.PRO(in.DimKeys, in.Payload, in.FK, cfg.Workers)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		dAIR, err := best(cfg.Runs, func() error {
+			join.AIR(in.Payload, in.FKPos, cfg.Workers)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", nDim),
+			nsPerTuple(dNPO, nFact),
+			nsPerTuple(dPRO, nFact),
+			nsPerTuple(dAIR, nFact),
+			fmt.Sprintf("%.2f", float64(dNPO.Nanoseconds())/float64(dPRO.Nanoseconds())),
+		})
+	}
+	return []*Report{rep}, nil
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+
+	"astore/internal/baseline"
+	"astore/internal/core"
+	"astore/internal/datagen/ssb"
+	"astore/internal/query"
+	"astore/internal/storage"
+)
+
+// namedEngine pairs a display name with a query runner.
+type namedEngine struct {
+	name string
+	run  func(*query.Query) (*query.Result, error)
+}
+
+// astoreEngine wraps a core engine variant as a namedEngine.
+func astoreEngine(name string, root *storage.Table, opt core.Options) (namedEngine, error) {
+	eng, err := core.New(root, opt)
+	if err != nil {
+		return namedEngine{}, err
+	}
+	return namedEngine{name: name, run: eng.Run}, nil
+}
+
+// baselineEngine wraps a baseline engine as a namedEngine.
+func baselineEngine(name string, e baseline.Engine) namedEngine {
+	return namedEngine{name: name, run: e.Run}
+}
+
+// ssbData generates SSB once per experiment.
+func ssbData(cfg Config) *ssb.Data {
+	return ssb.Generate(ssb.Config{SF: cfg.SF, Seed: cfg.Seed})
+}
+
+// fullComparisonEngines builds the engine lineup of Fig. 1 / Table 5:
+// the two conventional engines, their denormalized variants, A-Store
+// (virtual denormalization), and the hand-coded real denormalization.
+func fullComparisonEngines(cfg Config, fact *storage.Table) (engines []namedEngine, wide *storage.Table, err error) {
+	wide, err = baseline.Denormalize(fact)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := core.Options{Variant: core.Auto, Workers: cfg.Workers}
+	as, err := astoreEngine("A-Store", fact, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	dn, err := astoreEngine("Denorm", wide, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	engines = []namedEngine{
+		baselineEngine("HashJoin_D", baseline.NewHashJoinEngine(wide)),
+		baselineEngine("HashJoin", baseline.NewHashJoinEngine(fact)),
+		baselineEngine("Vector_D", baseline.NewVectorEngine(wide)),
+		baselineEngine("Vector", baseline.NewVectorEngine(fact)),
+		as,
+		dn,
+	}
+	return engines, wide, nil
+}
+
+// runQueryMatrix measures every engine on every query, returning one row
+// per query (ms per engine) plus an AVG row.
+func runQueryMatrix(cfg Config, queries []*query.Query, engines []namedEngine) ([][]string, error) {
+	rows := make([][]string, 0, len(queries)+1)
+	totals := make([]float64, len(engines))
+	for _, q := range queries {
+		row := []string{q.Name}
+		for ei, e := range engines {
+			d, err := best(cfg.Runs, func() error {
+				_, err := e.run(q)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", e.name, q.Name, err)
+			}
+			totals[ei] += float64(d.Nanoseconds())
+			row = append(row, ms(d))
+		}
+		rows = append(rows, row)
+	}
+	avg := []string{"AVG"}
+	for _, t := range totals {
+		avg = append(avg, fmt.Sprintf("%.2f", t/float64(len(queries))/1e6))
+	}
+	rows = append(rows, avg)
+	return rows, nil
+}
+
+func engineHeaders(engines []namedEngine) []string {
+	h := []string{"query"}
+	for _, e := range engines {
+		h = append(h, e.name+" (ms)")
+	}
+	return h
+}

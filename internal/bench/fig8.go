@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+
+	"astore/internal/baseline"
+	"astore/internal/core"
+	"astore/internal/datagen/ssb"
+	"astore/internal/datagen/tpch"
+	"astore/internal/expr"
+	"astore/internal/join"
+	"astore/internal/query"
+	"astore/internal/storage"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig8",
+		Title: "FK-PK column joins for SSB and TPC-H " +
+			"(Fig. 8: hand-coded join algorithms versus engines)",
+		Run: runFig8,
+	})
+}
+
+// fig8Specs are the eight column joins of Fig. 8.
+func fig8Specs(cfg Config) []joinSpec {
+	lo, cust, supp, part, date := ssb.Sizes(cfg.SF)
+	li, ord, hcust, hsupp, hpart := tpch.Sizes(cfg.SF)
+	return []joinSpec{
+		{"SSB lineorder⋈date", lo, date},
+		{"SSB lineorder⋈supplier", lo, supp},
+		{"SSB lineorder⋈part", lo, part},
+		{"SSB lineorder⋈customer", lo, cust},
+		{"TPCH lineitem⋈supplier", li, hsupp},
+		{"TPCH lineitem⋈part", li, hpart},
+		{"TPCH orders⋈customer", ord, hcust},
+		{"TPCH lineitem⋈orders", li, ord},
+	}
+}
+
+// joinSchema wraps one synthetic join workload as a two-table star schema
+// so the full engines can run the same logical join. The query sums the
+// dimension payload, which forces every engine to actually reach the
+// dimension tuple (the paper's count(*) form would let engines skip the
+// join entirely under foreign-key integrity).
+func joinSchema(in join.Input) (*storage.Table, *query.Query) {
+	dim := storage.NewTable("dim")
+	dim.MustAddColumn("d_payload", storage.NewInt64Col(in.Payload))
+	fact := storage.NewTable("fact")
+	fact.MustAddColumn("fk", storage.NewInt32Col(in.FKPos))
+	fact.MustAddFK("fk", dim)
+	q := query.New("join").Agg(expr.SumOf(expr.C("d_payload"), "total"))
+	return fact, q
+}
+
+// runFig8 measures each join as executed by the hand-coded kernels (NPO,
+// PRO, sort-merge, AIR) and by the engines (operator-at-a-time, vectorized
+// pipeline, A-Store). Expected shape: AIR and A-Store fastest, the gap
+// growing with dimension size; sort-merge slowest; the pipeline engine
+// beats the materializing engine.
+func runFig8(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		ID:    "fig8",
+		Title: fmt.Sprintf("column joins at SF=%g, ms per join", cfg.SF),
+		Headers: []string{"join (fact:dim)", "NPO", "PRO", "SortMerge", "AIR",
+			"HashJoinEng", "VectorEng", "A-Store"},
+		Notes: []string{
+			"query form: select sum(d_payload) from fact ⋈ dim (see joinSchema on why not count(*))",
+		},
+	}
+	for i, spec := range fig8Specs(cfg) {
+		in := join.MakeInput(spec.nDim, spec.nFact, cfg.Seed+100+int64(i))
+		label := fmt.Sprintf("%s %d:%d", spec.name, spec.nFact, spec.nDim)
+		row := []string{label}
+
+		for _, kernel := range []func() error{
+			func() error { join.NPO(in.DimKeys, in.Payload, in.FK, cfg.Workers); return nil },
+			func() error { join.PRO(in.DimKeys, in.Payload, in.FK, cfg.Workers); return nil },
+			func() error { join.SortMerge(in.DimKeys, in.Payload, in.FK, cfg.Workers); return nil },
+			func() error { join.AIR(in.Payload, in.FKPos, cfg.Workers); return nil },
+		} {
+			d, err := best(cfg.Runs, kernel)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(d))
+		}
+
+		fact, q := joinSchema(in)
+		engines := []namedEngine{
+			baselineEngine("hj", baseline.NewHashJoinEngine(fact)),
+			baselineEngine("vec", baseline.NewVectorEngine(fact)),
+		}
+		as, err := astoreEngine("astore", fact, core.Options{Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, as)
+		var wantSum float64
+		for _, e := range engines {
+			var res *query.Result
+			d, err := best(cfg.Runs, func() error {
+				var err error
+				res, err = e.run(q)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if len(res.Rows) != 1 {
+				return nil, fmt.Errorf("fig8: %s returned %d rows", e.name, len(res.Rows))
+			}
+			if wantSum == 0 {
+				wantSum = res.Rows[0].Aggs[0]
+			} else if res.Rows[0].Aggs[0] != wantSum {
+				return nil, fmt.Errorf("fig8: %s disagrees on %s", e.name, spec.name)
+			}
+			row = append(row, ms(d))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return []*Report{rep}, nil
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+
+	"astore/internal/baseline"
+	"astore/internal/core"
+	"astore/internal/datagen/ssb"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig9",
+		Title: "Five A-Store scan variants on SSB " +
+			"(Fig. 9 / Table 6: per-optimization ablation)",
+		Run: runFig9,
+	})
+}
+
+// runFig9 reproduces Fig. 9: the 13 SSB queries under each of the five
+// query-processor variants of Table 6, plus the two baseline engines for
+// reference. Expected shape: monotone improvement R → R_P → C_P → C_P_G,
+// with C between R_P and C_P; all column-wise variants beat the baseline
+// engines.
+func runFig9(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	data := ssbData(cfg)
+
+	var engines []namedEngine
+	for _, v := range []core.Variant{core.RowWise, core.RowWisePF,
+		core.ColWise, core.ColWisePF, core.ColWisePFG} {
+		e, err := astoreEngine(v.String(), data.Lineorder,
+			core.Options{Variant: v, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, e)
+	}
+	engines = append(engines,
+		baselineEngine("HashJoinEng", baseline.NewHashJoinEngine(data.Lineorder)),
+		baselineEngine("VectorEng", baseline.NewVectorEngine(data.Lineorder)),
+	)
+	rows, err := runQueryMatrix(cfg, ssb.Queries(), engines)
+	if err != nil {
+		return nil, err
+	}
+	return []*Report{{
+		ID:      "fig9",
+		Title:   fmt.Sprintf("SSB SF=%g, workers=%d", cfg.SF, cfg.Workers),
+		Headers: engineHeaders(engines),
+		Rows:    rows,
+	}}, nil
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"astore/internal/datagen/ssb"
+	"astore/internal/datagen/tpcds"
+	"astore/internal/datagen/tpch"
+	"astore/internal/join"
+)
+
+func init() {
+	register(Experiment{
+		ID: "table2",
+		Title: "AIR versus NPO and PRO hash joins, ns/tuple " +
+			"(Table 2: 19 FK-PK joins from SSB, TPC-H, TPC-DS + workloads A/B)",
+		Run: runTable2,
+	})
+}
+
+// joinSpec is one FK-PK join workload of Table 2.
+type joinSpec struct {
+	name  string
+	nFact int
+	nDim  int
+}
+
+// table2Specs lists the paper's 19 joins with cardinalities derived from
+// the same size formulas as the generators, so the fact:dimension ratios
+// match Table 2 at any scale factor.
+func table2Specs(cfg Config) []joinSpec {
+	lo, cust, supp, part, date := ssb.Sizes(cfg.SF)
+	li, ord, hcust, hsupp, hpart := tpch.Sizes(cfg.SF)
+	dsFact, dsDims := tpcds.Sizes(cfg.SF)
+	// Workloads A and B of Balkesen et al. [7], scaled by SF/100 like the
+	// paper's absolute sizes.
+	ratio := cfg.SF / 100
+	wl := func(base int) int {
+		n := int(math.Round(float64(base) * ratio))
+		if n < 16 {
+			n = 16
+		}
+		return n
+	}
+	return []joinSpec{
+		{"SSB lineorder⋈date", lo, date},
+		{"SSB lineorder⋈part", lo, part},
+		{"SSB lineorder⋈supplier", lo, supp},
+		{"SSB lineorder⋈customer", lo, cust},
+		{"TPCH lineitem⋈part", li, hpart},
+		{"TPCH lineitem⋈supplier", li, hsupp},
+		{"TPCH orders⋈customer", ord, hcust},
+		{"TPCH lineitem⋈orders", li, ord},
+		{"TPCDS store_sales⋈store", dsFact, dsDims["store"]},
+		{"TPCDS store_sales⋈date_dim", dsFact, dsDims["date_dim"]},
+		{"TPCDS store_sales⋈time_dim", dsFact, dsDims["time_dim"]},
+		{"TPCDS store_sales⋈household_dem", dsFact, dsDims["household_demographics"]},
+		{"TPCDS store_sales⋈customer_dem", dsFact, dsDims["customer_demographics"]},
+		{"TPCDS store_sales⋈customer", dsFact, dsDims["customer"]},
+		{"TPCDS store_sales⋈item", dsFact, dsDims["item"]},
+		{"TPCDS store_sales⋈promotion", dsFact, dsDims["promotion"]},
+		{"TPCDS store_sales⋈store_returns", dsFact, dsDims["store_returns"]},
+		{"Workload A (16:1)", wl(268_435_456), wl(16_777_216)},
+		{"Workload B (1:1)", wl(128_000_000), wl(128_000_000)},
+	}
+}
+
+// runTable2 measures NPO, PRO, and AIR on every join of Table 2 and
+// reports ns/tuple (the portable stand-in for the paper's cycles/tuple; all
+// three kernels run on the same host so the ratios are comparable).
+// Expected shape: AIR fastest everywhere; NPO beats PRO on small
+// dimensions, PRO beats NPO once the shared table spills the cache.
+func runTable2(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		ID:      "table2",
+		Title:   fmt.Sprintf("FK-PK joins at SF=%g (fact:dim sizes scaled from the paper)", cfg.SF),
+		Headers: []string{"join (fact:dim)", "NPO", "PRO", "AIR"},
+		Notes: []string{
+			"values are ns/tuple of the probe relation (paper reports cycles/tuple; ratios comparable)",
+			"each kernel also sums a dimension payload so matches cost a real tuple access",
+		},
+	}
+	for i, spec := range table2Specs(cfg) {
+		in := join.MakeInput(spec.nDim, spec.nFact, cfg.Seed+int64(i))
+		label := fmt.Sprintf("%s %d:%d", spec.name, spec.nFact, spec.nDim)
+
+		var cNPO, cPRO, cAIR int64
+		dNPO, err := best(cfg.Runs, func() error {
+			cNPO, _ = join.NPO(in.DimKeys, in.Payload, in.FK, cfg.Workers)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		dPRO, err := best(cfg.Runs, func() error {
+			cPRO, _ = join.PRO(in.DimKeys, in.Payload, in.FK, cfg.Workers)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		dAIR, err := best(cfg.Runs, func() error {
+			cAIR, _ = join.AIR(in.Payload, in.FKPos, cfg.Workers)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cNPO != cAIR || cPRO != cAIR {
+			return nil, fmt.Errorf("join kernels disagree on %s: %d %d %d", spec.name, cNPO, cPRO, cAIR)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			label,
+			nsPerTuple(dNPO, spec.nFact),
+			nsPerTuple(dPRO, spec.nFact),
+			nsPerTuple(dAIR, spec.nFact),
+		})
+	}
+	return []*Report{rep}, nil
+}

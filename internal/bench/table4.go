@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"astore/internal/baseline"
+	"astore/internal/datagen/ssb"
+)
+
+func init() {
+	register(Experiment{
+		ID: "table4",
+		Title: "Predicate processing and grouping&aggregation on the " +
+			"denormalized table (Table 4: per-phase breakdown)",
+		Run: runTable4,
+	})
+}
+
+// runTable4 reproduces Table 4: for each SSB query run on the physically
+// denormalized universal table, the split between predicate processing and
+// grouping-and-aggregation, per engine. Expected shape: the pipeline engine
+// is much faster on predicates (selection vectors skip work) while the
+// materializing engine pays full fact-length bitmap scans; grouping costs
+// grow with group count (Q3.2–Q3.4 class).
+func runTable4(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	data := ssbData(cfg)
+	wide, err := baseline.Denormalize(data.Lineorder)
+	if err != nil {
+		return nil, err
+	}
+	hj := baseline.NewHashJoinEngine(wide)
+	vec := baseline.NewVectorEngine(wide)
+
+	rep := &Report{
+		ID:    "table4",
+		Title: fmt.Sprintf("SSB SF=%g on the denormalized universal table", cfg.SF),
+		Headers: []string{"query",
+			"HashJoin pred", "Vector pred",
+			"HashJoin group&agg", "Vector group&agg"},
+		Notes: []string{"all values in ms; phases per baseline.PhaseStats"},
+	}
+	for _, q := range ssb.Queries() {
+		var hjStats, vecStats baseline.PhaseStats
+		// Take the run with the best total per engine, paper-style.
+		bestTotal := int64(1<<63 - 1)
+		for r := 0; r < cfg.Runs; r++ {
+			if _, err := hj.Run(q); err != nil {
+				return nil, err
+			}
+			if t := hj.Stats.PredNS + hj.Stats.GroupNS; t < bestTotal {
+				bestTotal = t
+				hjStats = hj.Stats
+			}
+		}
+		bestTotal = int64(1<<63 - 1)
+		for r := 0; r < cfg.Runs; r++ {
+			if _, err := vec.Run(q); err != nil {
+				return nil, err
+			}
+			if t := vec.Stats.PredNS + vec.Stats.GroupNS; t < bestTotal {
+				bestTotal = t
+				vecStats = vec.Stats
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{
+			q.Name,
+			ms(time.Duration(hjStats.PredNS)),
+			ms(time.Duration(vecStats.PredNS)),
+			ms(time.Duration(hjStats.GroupNS)),
+			ms(time.Duration(vecStats.GroupNS)),
+		})
+	}
+	return []*Report{rep}, nil
+}

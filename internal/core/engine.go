@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"astore/internal/agg"
+	"astore/internal/expr"
+	"astore/internal/query"
+	"astore/internal/schema"
+	"astore/internal/storage"
+)
+
+// Engine executes SPJGA queries over the virtual universal table rooted at
+// one fact table. It is safe for concurrent use by multiple goroutines as
+// long as the underlying tables are not concurrently mutated (take storage
+// snapshots for isolation from writers).
+type Engine struct {
+	root  *storage.Table
+	graph *schema.Graph
+	opt   Options
+
+	// Aggregation arrays are recycled across queries per shape: the array
+	// is typically LLC-resident (§4.3) and sparsely touched, so resetting
+	// touched cells is far cheaper than re-allocating and re-zeroing.
+	arrMu   sync.Mutex
+	arrPool map[string][]*agg.ArrayAgg
+}
+
+// arrSig keys the aggregation-array pool by shape.
+func arrSig(dims []int, kinds []expr.AggKind) string {
+	return fmt.Sprintf("%v|%v", dims, kinds)
+}
+
+// getArray returns a pooled aggregation array of the given shape, or builds
+// a fresh one.
+func (e *Engine) getArray(dims []int, kinds []expr.AggKind) (*agg.ArrayAgg, error) {
+	sig := arrSig(dims, kinds)
+	e.arrMu.Lock()
+	if list := e.arrPool[sig]; len(list) > 0 {
+		a := list[len(list)-1]
+		e.arrPool[sig] = list[:len(list)-1]
+		e.arrMu.Unlock()
+		return a, nil
+	}
+	e.arrMu.Unlock()
+	return agg.NewArrayAgg(dims, kinds)
+}
+
+// putArray resets and recycles an aggregation array.
+func (e *Engine) putArray(a *agg.ArrayAgg) {
+	if a == nil {
+		return
+	}
+	a.Reset()
+	sig := arrSig(a.Dims(), a.Kinds())
+	e.arrMu.Lock()
+	if len(e.arrPool[sig]) < 16 { // bound pool growth per shape
+		e.arrPool[sig] = append(e.arrPool[sig], a)
+	}
+	e.arrMu.Unlock()
+}
+
+// New builds an engine over the star/snowflake schema reachable from root.
+func New(root *storage.Table, opt Options) (*Engine, error) {
+	g, err := schema.Build(root)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		root:    root,
+		graph:   g,
+		opt:     opt.withDefaults(),
+		arrPool: make(map[string][]*agg.ArrayAgg),
+	}, nil
+}
+
+// Root returns the engine's root (fact) table.
+func (e *Engine) Root() *storage.Table { return e.root }
+
+// Graph returns the engine's join graph.
+func (e *Engine) Graph() *schema.Graph { return e.graph }
+
+// Options returns the engine's effective options.
+func (e *Engine) Options() Options { return e.opt }
+
+// Run executes a SPJGA query and returns its ordered result.
+func (e *Engine) Run(q *query.Query) (*query.Result, error) {
+	return e.RunWithStats(q, nil)
+}
+
+// RunWithStats executes a query and, if stats is non-nil, fills it with
+// per-phase timing and optimizer decisions.
+func (e *Engine) RunWithStats(q *query.Query, stats *Stats) (*query.Result, error) {
+	pl, err := e.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	pl.stats.LeafNS = pl.leafNS
+
+	var res *query.Result
+	if pl.variant.rowWise() {
+		res, err = e.runRowWise(pl)
+	} else {
+		res, err = e.runColumnar(pl)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		*stats = pl.stats
+	}
+	return res, nil
+}

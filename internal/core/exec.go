@@ -1,0 +1,577 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"astore/internal/agg"
+	"astore/internal/expr"
+	"astore/internal/query"
+)
+
+// span is one horizontal partition of the root (fact) table. The engine
+// over-partitions (Workers × PartitionsPerWorker spans) and lets workers
+// pull spans from a queue, which is the paper's load-balancing scheme of
+// allocating more logical partitions than physical threads (§5).
+type span struct{ lo, hi int }
+
+// makeSpans splits [0, n) into at most count near-equal spans.
+func makeSpans(n, count int) []span {
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	if n == 0 {
+		return nil
+	}
+	spans := make([]span, 0, count)
+	chunk := (n + count - 1) / count
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, span{lo, hi})
+	}
+	return spans
+}
+
+// partial is one worker's private aggregation state: either an aggregation
+// array or a hash table, never both. Workers also accumulate their own
+// timing, merged by the driver (§5: intermediate results are used
+// exclusively by the worker itself).
+type partial struct {
+	arr *agg.ArrayAgg
+	h   *agg.HashAgg
+
+	scanNS, aggNS     int64
+	scanned, selected int64
+
+	// Reused per-span buffers.
+	sel   []int32
+	mi    []int32
+	cells []*agg.Cell
+	key   []byte
+}
+
+func (pl *plan) newPartial() (*partial, error) {
+	p := &partial{key: make([]byte, 4*len(pl.dims))}
+	if pl.useArray {
+		arr, err := pl.eng.getArray(pl.dimCards, pl.aggKinds)
+		if err != nil {
+			return nil, err
+		}
+		p.arr = arr
+	} else {
+		p.h = agg.NewHashAgg(pl.aggKinds)
+	}
+	return p, nil
+}
+
+// runColumnar executes the plan with the vector-based column-wise scan
+// (§4.1), in parallel when Workers > 1.
+func (e *Engine) runColumnar(pl *plan) (*query.Result, error) {
+	spans := makeSpans(pl.rootN, pl.opt.Workers*pl.opt.PartitionsPerWorker)
+	process := func(p *partial, sp span) { pl.processSpanColumnar(p, sp) }
+	total, err := pl.runParallel(spans, process)
+	if err != nil {
+		return nil, err
+	}
+	return pl.extract(total)
+}
+
+// runParallel drives workers over the span queue and merges their partials.
+func (pl *plan) runParallel(spans []span, process func(*partial, span)) (*partial, error) {
+	workers := pl.opt.Workers
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	if workers <= 1 {
+		p, err := pl.newPartial()
+		if err != nil {
+			return nil, err
+		}
+		for _, sp := range spans {
+			process(p, sp)
+		}
+		pl.stats.ScanNS += p.scanNS
+		pl.stats.AggNS += p.aggNS
+		pl.stats.RowsScanned += p.scanned
+		pl.stats.RowsSelected += p.selected
+		return p, nil
+	}
+
+	queue := make(chan span, len(spans))
+	for _, sp := range spans {
+		queue <- sp
+	}
+	close(queue)
+
+	partials := make([]*partial, workers)
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		p, err := pl.newPartial()
+		if err != nil {
+			return nil, err
+		}
+		partials[w] = p
+		wg.Add(1)
+		go func(p *partial) {
+			defer wg.Done()
+			for sp := range queue {
+				process(p, sp)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// Merge worker partials into the first one; merged arrays go back to
+	// the engine's pool.
+	total := partials[0]
+	for _, p := range partials[1:] {
+		if p.arr != nil {
+			if err := total.arr.Merge(p.arr); err != nil {
+				mu.Lock()
+				firstErr = err
+				mu.Unlock()
+			}
+			pl.eng.putArray(p.arr)
+		} else {
+			total.h.Merge(p.h)
+		}
+		total.scanNS += p.scanNS
+		total.aggNS += p.aggNS
+		total.scanned += p.scanned
+		total.selected += p.selected
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Attribute per-phase time as wall-clock estimate: sum across workers
+	// divided by the worker count.
+	pl.stats.ScanNS += total.scanNS / int64(workers)
+	pl.stats.AggNS += total.aggNS / int64(workers)
+	pl.stats.RowsScanned += total.scanned
+	pl.stats.RowsSelected += total.selected
+	return total, nil
+}
+
+// processSpanColumnar runs phases 2 and 3 for one fact-table partition:
+// selection-vector refinement, measure-index generation, and measure
+// aggregation.
+func (pl *plan) processSpanColumnar(p *partial, sp span) {
+	t0 := time.Now()
+	p.scanned += int64(sp.hi - sp.lo)
+
+	// Phase 2a: scan-and-filter with a shrinking selection vector.
+	sel := p.sel[:0]
+	if pl.rootDel == nil {
+		for r := sp.lo; r < sp.hi; r++ {
+			sel = append(sel, int32(r))
+		}
+	} else {
+		for r := sp.lo; r < sp.hi; r++ {
+			if !pl.rootDel.Get(r) {
+				sel = append(sel, int32(r))
+			}
+		}
+	}
+	for i := range pl.filters {
+		if len(sel) == 0 {
+			break
+		}
+		f := &pl.filters[i]
+		if f.root != nil {
+			sel = f.root.filt(sel)
+		} else {
+			sel = filterProbe(f.probe, sel)
+		}
+	}
+
+	// Phase 2b (array backend): grouping — compute the measure index. For
+	// the hash backend, grouping (bucket location) is aggregation work and
+	// is accounted to phase 3, matching the paper's Fig. 10 stage split.
+	if pl.useArray {
+		sel = pl.groupArray(p, sel)
+		p.sel = sel
+		p.selected += int64(len(sel))
+		p.scanNS += time.Since(t0).Nanoseconds()
+
+		t1 := time.Now()
+		pl.aggregateArray(p, sel)
+		p.aggNS += time.Since(t1).Nanoseconds()
+		return
+	}
+	p.scanNS += time.Since(t0).Nanoseconds()
+
+	// Phase 3 (hash backend): grouping and aggregation.
+	t1 := time.Now()
+	sel = pl.groupHash(p, sel)
+	p.sel = sel
+	p.selected += int64(len(sel))
+	pl.aggregateHash(p, sel)
+	p.aggNS += time.Since(t1).Nanoseconds()
+}
+
+// filterProbe refines the selection vector through one probe filter,
+// following the AIR chain and testing the predicate vector bit (or the
+// direct matcher).
+func filterProbe(f *probeFilter, sel []int32) []int32 {
+	out := sel[:0]
+	if f.vec != nil && len(f.fks) == 1 {
+		fk := f.fks[0]
+		vec := f.vec
+		for _, r := range sel {
+			if vec.Get(int(fk[r])) {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	for _, r := range sel {
+		if f.keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// groupArray fills the measure index with flat aggregation-array cell
+// indexes, processing one grouping column at a time (column-wise grouping,
+// Fig. 6). Rows whose group vector entry is null are dropped from the
+// selection vector.
+func (pl *plan) groupArray(p *partial, sel []int32) []int32 {
+	if cap(p.mi) < len(sel) {
+		p.mi = make([]int32, len(sel))
+	}
+	mi := p.mi[:len(sel)]
+	for j := range mi {
+		mi[j] = 0
+	}
+	mult := p.arr.Mult()
+	dead := false
+	for k, d := range pl.dims {
+		dead = accumulateDim(d, sel, mi, mult[k]) || dead
+	}
+	if dead {
+		keep := sel[:0]
+		km := mi[:0]
+		for j, f := range mi {
+			if f >= 0 {
+				keep = append(keep, sel[j])
+				km = append(km, f)
+			}
+		}
+		sel = keep
+		mi = km
+	}
+	p.mi = mi
+	for _, f := range mi {
+		p.arr.AddRow(f)
+	}
+	return sel
+}
+
+// accumulateDim folds one grouping column's dense ids into the measure
+// index. Returns true if any row hit a null group (marked -1).
+func accumulateDim(d *groupDim, sel []int32, mi []int32, mult int32) bool {
+	dead := false
+	switch d.kind {
+	case gdLeafVec:
+		if len(d.fks) == 1 {
+			fk := d.fks[0]
+			vec := d.vec
+			for j, r := range sel {
+				if mi[j] < 0 {
+					continue
+				}
+				id := vec[fk[r]]
+				if id < 0 {
+					mi[j] = -1
+					dead = true
+					continue
+				}
+				mi[j] += id * mult
+			}
+			return dead
+		}
+		for j, r := range sel {
+			if mi[j] < 0 {
+				continue
+			}
+			x := r
+			for _, fk := range d.fks {
+				x = fk[x]
+			}
+			id := d.vec[x]
+			if id < 0 {
+				mi[j] = -1
+				dead = true
+				continue
+			}
+			mi[j] += id * mult
+		}
+	case gdRootDict:
+		codes := d.codes
+		for j, r := range sel {
+			if mi[j] >= 0 {
+				mi[j] += codes[r] * mult
+			}
+		}
+	default: // gdRootNum
+		switch {
+		case d.i32 != nil:
+			v := d.i32
+			base := int32(d.base)
+			for j, r := range sel {
+				if mi[j] >= 0 {
+					mi[j] += (v[r] - base) * mult
+				}
+			}
+		case d.i64 != nil:
+			v := d.i64
+			for j, r := range sel {
+				if mi[j] >= 0 {
+					mi[j] += int32(v[r]-d.base) * mult
+				}
+			}
+		default:
+			v := d.f64
+			for j, r := range sel {
+				if mi[j] >= 0 {
+					mi[j] += int32(int64(v[r])-d.base) * mult
+				}
+			}
+		}
+	}
+	return dead
+}
+
+// groupHash assigns each selected row its hash-aggregation cell, keyed by
+// the packed dense group ids (stable across workers, so partials merge).
+func (pl *plan) groupHash(p *partial, sel []int32) []int32 {
+	if cap(p.cells) < len(sel) {
+		p.cells = make([]*agg.Cell, len(sel))
+	}
+	cells := p.cells[:len(sel)]
+	key := p.key
+	out := sel[:0]
+	kept := cells[:0]
+	for _, r := range sel {
+		ok := true
+		for k, d := range pl.dims {
+			id := d.id(r)
+			if id < 0 {
+				ok = false
+				break
+			}
+			binary.LittleEndian.PutUint32(key[4*k:], uint32(id))
+		}
+		if !ok {
+			continue
+		}
+		c := p.h.Upsert(key)
+		c.Count++
+		out = append(out, r)
+		kept = append(kept, c)
+	}
+	p.cells = cells[:len(kept)]
+	copy(p.cells, kept)
+	return out
+}
+
+// aggregateArray is phase 3 over the aggregation array: each measure column
+// is scanned only at the positions recorded in the measure index.
+func (pl *plan) aggregateArray(p *partial, sel []int32) {
+	mi := p.mi
+	for k, ap := range pl.aggs {
+		if ap.agg.Expr == nil {
+			continue // COUNT(*): counts were maintained in groupArray
+		}
+		vals := p.arr.Vals(k)
+		switch ap.kind {
+		case expr.Sum, expr.Avg:
+			if ap.sumLoop(vals, sel, mi) {
+				continue
+			}
+			ev := ap.eval
+			for j, r := range sel {
+				vals[mi[j]] += ev(r)
+			}
+		case expr.Min:
+			ev := ap.eval
+			for j, r := range sel {
+				if v := ev(r); v < vals[mi[j]] {
+					vals[mi[j]] = v
+				}
+			}
+		case expr.Max:
+			ev := ap.eval
+			for j, r := range sel {
+				if v := ev(r); v > vals[mi[j]] {
+					vals[mi[j]] = v
+				}
+			}
+		case expr.Count:
+			// COUNT(expr) without nulls equals COUNT(*).
+		}
+	}
+}
+
+// sumLoop runs the recognized dense fast path for Sum/Avg accumulation,
+// returning false when the expression shape or column types are not
+// specialized.
+func (ap *aggPlan) sumLoop(vals []float64, sel, mi []int32) bool {
+	if !ap.fastPath {
+		return false
+	}
+	switch ap.form {
+	case expr.FCol:
+		switch {
+		case ap.aI64 != nil:
+			a := ap.aI64
+			for j, r := range sel {
+				vals[mi[j]] += float64(a[r])
+			}
+		case ap.aI32 != nil:
+			a := ap.aI32
+			for j, r := range sel {
+				vals[mi[j]] += float64(a[r])
+			}
+		case ap.aF64 != nil:
+			a := ap.aF64
+			for j, r := range sel {
+				vals[mi[j]] += a[r]
+			}
+		default:
+			return false
+		}
+	case expr.FMulCols:
+		switch {
+		case ap.aI64 != nil && ap.bI32 != nil:
+			a, b := ap.aI64, ap.bI32
+			for j, r := range sel {
+				vals[mi[j]] += float64(a[r] * int64(b[r]))
+			}
+		case ap.aI64 != nil && ap.bI64 != nil:
+			a, b := ap.aI64, ap.bI64
+			for j, r := range sel {
+				vals[mi[j]] += float64(a[r] * b[r])
+			}
+		case ap.aI32 != nil && ap.bI32 != nil:
+			a, b := ap.aI32, ap.bI32
+			for j, r := range sel {
+				vals[mi[j]] += float64(int64(a[r]) * int64(b[r]))
+			}
+		case ap.aF64 != nil && ap.bF64 != nil:
+			a, b := ap.aF64, ap.bF64
+			for j, r := range sel {
+				vals[mi[j]] += a[r] * b[r]
+			}
+		default:
+			return false
+		}
+	case expr.FSubCols:
+		switch {
+		case ap.aI64 != nil && ap.bI64 != nil:
+			a, b := ap.aI64, ap.bI64
+			for j, r := range sel {
+				vals[mi[j]] += float64(a[r] - b[r])
+			}
+		case ap.aI32 != nil && ap.bI32 != nil:
+			a, b := ap.aI32, ap.bI32
+			for j, r := range sel {
+				vals[mi[j]] += float64(a[r] - b[r])
+			}
+		default:
+			return false
+		}
+	case expr.FMulOneMinus:
+		switch {
+		case ap.aF64 != nil && ap.bF64 != nil:
+			a, b := ap.aF64, ap.bF64
+			for j, r := range sel {
+				vals[mi[j]] += a[r] * (1 - b[r])
+			}
+		case ap.aI64 != nil && ap.bF64 != nil:
+			a, b := ap.aI64, ap.bF64
+			for j, r := range sel {
+				vals[mi[j]] += float64(a[r]) * (1 - b[r])
+			}
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// aggregateHash is phase 3 over the hash backend.
+func (pl *plan) aggregateHash(p *partial, sel []int32) {
+	kinds := p.h.Kinds()
+	for k, ap := range pl.aggs {
+		if ap.agg.Expr == nil {
+			continue
+		}
+		ev := ap.eval
+		cells := p.cells
+		switch ap.kind {
+		case expr.Sum, expr.Avg:
+			for j, r := range sel {
+				cells[j].Vals[k] += ev(r)
+			}
+		default:
+			for j, r := range sel {
+				cells[j].Update(kinds, k, ev(r))
+			}
+		}
+	}
+}
+
+// extract converts the merged aggregation state into an ordered result.
+func (pl *plan) extract(total *partial) (*query.Result, error) {
+	t0 := time.Now()
+	res := &query.Result{
+		GroupCols: append([]string(nil), pl.q.GroupBy...),
+		AggNames:  make([]string, len(pl.aggs)),
+	}
+	for k, ap := range pl.aggs {
+		res.AggNames[k] = ap.agg.As
+	}
+
+	if total.arr != nil {
+		for _, g := range total.arr.Extract() {
+			keys := make([]query.Value, len(pl.dims))
+			for k, d := range pl.dims {
+				keys[k] = d.decode(g.Ids[k])
+			}
+			res.Rows = append(res.Rows, query.Row{Keys: keys, Aggs: g.Vals})
+		}
+		pl.eng.putArray(total.arr)
+		total.arr = nil
+	} else {
+		for _, c := range total.h.Extract() {
+			key := c.Key()
+			keys := make([]query.Value, len(pl.dims))
+			for k, d := range pl.dims {
+				id := int32(binary.LittleEndian.Uint32([]byte(key[4*k:])))
+				keys[k] = d.decode(id)
+			}
+			res.Rows = append(res.Rows, query.Row{Keys: keys, Aggs: c.Vals})
+		}
+	}
+	pl.stats.Groups = len(res.Rows)
+
+	if err := res.Sort(pl.q.OrderBy); err != nil {
+		return nil, err
+	}
+	res.Truncate(pl.q.Limit)
+	pl.stats.AggNS += time.Since(t0).Nanoseconds()
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"astore/internal/expr"
+	"astore/internal/query"
+)
+
+// Explain compiles the query and renders the resulting plan: the unified
+// filter order with selectivities, the predicate vectors built (and what
+// was folded into them), the group dimensions with their cardinalities,
+// the aggregation backend choice, and the recognized measure fast paths.
+// Explain performs the leaf-processing phase (predicate and group vectors
+// are actually built) but scans nothing.
+func (e *Engine) Explain(q *query.Query) (string, error) {
+	pl, err := e.plan(q)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan %s (variant %s, workers %d)\n", q.Name, pl.variant, pl.opt.Workers)
+	fmt.Fprintf(&sb, "scan %s: %d rows\n", pl.root.Name, pl.rootN)
+
+	if len(pl.filters) == 0 {
+		sb.WriteString("filters: none\n")
+	} else {
+		sb.WriteString("filters (most selective first):\n")
+		for i, f := range pl.filters {
+			if f.root != nil {
+				fmt.Fprintf(&sb, "  %d. scan  %-40s est sel %.4f\n",
+					i+1, f.root.pred.String(), f.root.sel)
+				continue
+			}
+			kind := "probe (direct)"
+			sel := fmt.Sprintf("est sel %.4f", f.probe.sel)
+			if f.probe.vec != nil {
+				kind = "probe (predicate vector)"
+				sel = fmt.Sprintf("sel %.4f", f.probe.sel)
+			}
+			fmt.Fprintf(&sb, "  %d. %-24s %-15s via %d AIR hop(s), %s\n",
+				i+1, kind, f.probe.table, len(f.probe.fks), sel)
+		}
+	}
+	if len(pl.stats.PrefilterTables) > 0 {
+		fmt.Fprintf(&sb, "predicate vectors on: %s (deeper filters folded in)\n",
+			strings.Join(pl.stats.PrefilterTables, ", "))
+	}
+
+	if len(pl.dims) == 0 {
+		sb.WriteString("grouping: none (global aggregate)\n")
+	} else {
+		sb.WriteString("grouping:\n")
+		cells := 1
+		for _, d := range pl.dims {
+			src := "group vector + dictionary"
+			switch d.kind {
+			case gdRootDict:
+				src = "fact dictionary codes"
+			case gdRootNum:
+				src = fmt.Sprintf("fact numeric, base %d", d.base)
+			}
+			fmt.Fprintf(&sb, "  %-20s cardinality %-8d %s\n", d.name, d.card, src)
+			cells *= d.card
+		}
+		backend := "hash table"
+		if pl.useArray {
+			backend = "multidimensional array"
+		}
+		fmt.Fprintf(&sb, "aggregation backend: %s (%d cells)\n", backend, cells)
+	}
+
+	sb.WriteString("aggregates:\n")
+	for _, ap := range pl.aggs {
+		if ap.agg.Expr == nil {
+			fmt.Fprintf(&sb, "  %-12s count(*)\n", ap.agg.As)
+			continue
+		}
+		path := "generic evaluator"
+		if ap.fastPath {
+			switch ap.form {
+			case expr.FCol:
+				path = "dense column scan"
+			case expr.FMulCols:
+				path = "dense a*b scan"
+			case expr.FSubCols:
+				path = "dense a-b scan"
+			case expr.FMulOneMinus:
+				path = "dense a*(1-b) scan"
+			}
+		}
+		fmt.Fprintf(&sb, "  %-12s %s(%s) — %s\n",
+			ap.agg.As, ap.agg.Kind, expr.ExprString(ap.agg.Expr), path)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"astore/internal/query"
+	"astore/internal/storage"
+	"astore/internal/testutil"
+)
+
+func buildStar(tb testing.TB, seed int64, nFact int) *storage.Table {
+	tb.Helper()
+	return testutil.BuildStar(seed, nFact)
+}
+
+func buildSnowflakeLarge(tb testing.TB, seed int64, nFact int) *storage.Table {
+	tb.Helper()
+	return testutil.BuildSnowflake(seed, nFact)
+}
+
+func naiveRun(root *storage.Table, q *query.Query) (*query.Result, error) {
+	return testutil.NaiveRun(root, q)
+}
+
+func starQueries() []*query.Query { return testutil.StarQueries() }
+
+func allVariants() []Variant {
+	return []Variant{Auto, RowWise, RowWisePF, ColWise, ColWisePF, ColWisePFG}
+}

@@ -1,0 +1,146 @@
+// Package core implements the A-Store query engine: the generic three-phase
+// SPJGA processing model of §3 (scan-and-filter, grouping, aggregation) over
+// the virtual universal table, the optimizations of §4 (vector-based
+// column-wise scan, predicate filters, array-based column-wise aggregation),
+// and the multicore parallelization of §5.
+//
+// Five scan variants are provided, matching Table 6 of the paper, so the
+// contribution of each optimization can be measured in isolation:
+//
+//	AIRScan_R      row-wise scan of the virtual universal table
+//	AIRScan_R_P    row-wise scan + predicate vectors
+//	AIRScan_C      vector-based column-wise scan
+//	AIRScan_C_P    column-wise scan + predicate vectors
+//	AIRScan_C_P_G  column-wise scan + predicate vectors + array aggregation
+//
+// The Auto variant is AIRScan_C_P_G guarded by the optimizer: predicate
+// vectors are used only for dimension tables small enough to stay cache
+// resident, and the multidimensional aggregation array is used only when its
+// estimated size is dense enough, falling back to hash aggregation
+// otherwise (§4.2–4.3).
+package core
+
+import "fmt"
+
+// Variant selects a query-processor variant (Table 6 of the paper).
+type Variant uint8
+
+// Engine variants.
+const (
+	// Auto lets the optimizer choose: column-wise scan, predicate vectors
+	// where they fit the cache budget, array aggregation where dense.
+	Auto Variant = iota
+	// RowWise is AIRScan_R: row-wise scan, no predicate vectors, hash
+	// aggregation.
+	RowWise
+	// RowWisePF is AIRScan_R_P: row-wise scan with predicate vectors.
+	RowWisePF
+	// ColWise is AIRScan_C: vector-based column-wise scan, dimension
+	// predicates probed through AIR chains, hash aggregation.
+	ColWise
+	// ColWisePF is AIRScan_C_P: column-wise scan with predicate vectors.
+	ColWisePF
+	// ColWisePFG is AIRScan_C_P_G: column-wise scan, predicate vectors,
+	// group vectors and array-based aggregation.
+	ColWisePFG
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case Auto:
+		return "A-Store"
+	case RowWise:
+		return "AIRScan_R"
+	case RowWisePF:
+		return "AIRScan_R_P"
+	case ColWise:
+		return "AIRScan_C"
+	case ColWisePF:
+		return "AIRScan_C_P"
+	case ColWisePFG:
+		return "AIRScan_C_P_G"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// usesPrefilters reports whether the variant builds predicate vectors.
+func (v Variant) usesPrefilters() bool {
+	switch v {
+	case RowWisePF, ColWisePF, ColWisePFG, Auto:
+		return true
+	}
+	return false
+}
+
+// rowWise reports whether the variant scans tuples row-at-a-time.
+func (v Variant) rowWise() bool { return v == RowWise || v == RowWisePF }
+
+// Options configure an Engine.
+type Options struct {
+	// Variant selects the query processor; the zero value is Auto.
+	Variant Variant
+	// Workers is the number of worker goroutines for the parallel scan
+	// (§5). Values below 1 mean serial execution.
+	Workers int
+	// PartitionsPerWorker controls horizontal over-partitioning of the
+	// fact table: the paper allocates more logical partitions than
+	// physical threads to keep all threads saturated. Default 4.
+	PartitionsPerWorker int
+	// PrefilterMaxRows is the optimizer's cache budget for predicate
+	// vectors, in dimension rows (one bit each). Auto builds a predicate
+	// vector only for tables at most this large; explicit _P variants
+	// always build them. Default 32M rows (a 4 MB bit vector).
+	PrefilterMaxRows int
+	// MaxArrayGroups is the optimizer's bound on aggregation-array cells;
+	// beyond it, Auto falls back to hash aggregation. Default 1M cells.
+	MaxArrayGroups int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.PartitionsPerWorker < 1 {
+		o.PartitionsPerWorker = 4
+	}
+	if o.PrefilterMaxRows == 0 {
+		o.PrefilterMaxRows = 32 << 20
+	}
+	if o.MaxArrayGroups == 0 {
+		o.MaxArrayGroups = 1 << 20
+	}
+	return o
+}
+
+// Stats reports how a query executed: per-phase wall time attribution
+// (summed across workers and divided by the worker count for the parallel
+// phases) and optimizer decisions. Phase boundaries follow Fig. 10 of the
+// paper: leaf processing, foreign-key processing (selection plus measure
+// index), and measure aggregation.
+type Stats struct {
+	// LeafNS is time spent processing leaf tables: predicate vectors and
+	// group vectors/dictionaries.
+	LeafNS int64
+	// ScanNS is time spent scanning the root: predicate evaluation,
+	// selection-vector refinement, and measure-index generation.
+	ScanNS int64
+	// AggNS is time spent scanning measure columns and aggregating,
+	// including result extraction.
+	AggNS int64
+
+	// RowsScanned is the number of root rows considered.
+	RowsScanned int64
+	// RowsSelected is the number of root rows surviving all predicates.
+	RowsSelected int64
+	// Groups is the number of result groups before LIMIT.
+	Groups int
+
+	// UsedArrayAgg reports whether the multidimensional aggregation array
+	// was used (as opposed to hash aggregation).
+	UsedArrayAgg bool
+	// PrefilterTables lists the tables for which predicate vectors were
+	// built, in evaluation order.
+	PrefilterTables []string
+}

@@ -1,0 +1,677 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"astore/internal/agg"
+	"astore/internal/expr"
+	"astore/internal/query"
+	"astore/internal/schema"
+	"astore/internal/storage"
+)
+
+// rootFilter is a predicate on a root-table column, evaluated by direct
+// selection-vector refinement through a pre-compiled filterer.
+type rootFilter struct {
+	pred expr.Pred
+	col  storage.Column
+	filt func([]int32) []int32
+	sel  float64
+}
+
+// scanFilter is one entry of the unified, selectivity-ordered filter
+// sequence: either a root-column refinement or a dimension probe.
+type scanFilter struct {
+	root  *rootFilter
+	probe *probeFilter
+	// rank orders evaluation: estimated (or measured) selectivity scaled
+	// by a per-row cost factor, so "most selective first" (§4.1) does not
+	// schedule an expensive multi-hop string probe ahead of a cheap
+	// sequential integer compare of similar selectivity.
+	rank float64
+}
+
+// probeFilter evaluates dimension predicates during the root scan. With a
+// predicate vector (vec != nil) it is a bit probe addressed through the AIR
+// chain; otherwise it is a direct evaluation of the dimension column at the
+// chained position (the paper's fallback for filters too large to cache).
+type probeFilter struct {
+	table string
+	fks   [][]int32
+	vec   *storage.Bitmap
+	match func(int32) bool
+	sel   float64
+}
+
+// keep reports whether root row r passes the probe.
+func (f *probeFilter) keep(r int32) bool {
+	for _, fk := range f.fks {
+		r = fk[r]
+	}
+	if f.vec != nil {
+		return f.vec.Get(int(r))
+	}
+	return f.match(r)
+}
+
+// gdKind discriminates group-dimension implementations.
+type gdKind uint8
+
+const (
+	gdLeafVec  gdKind = iota // group vector + dictionary on the owning leaf table
+	gdRootDict               // dictionary codes of a root DictCol
+	gdRootNum                // numeric root column, id = value - base
+)
+
+// groupDim is one grouping column prepared for the grouping phase: a dense
+// group-id mapping (the paper's dictionary-compressed group vector) plus the
+// decode table used at extraction.
+type groupDim struct {
+	name string
+	kind gdKind
+
+	fks [][]int32 // AIR chain root -> owning table (leaf dims only)
+	vec []int32   // leaf group vector: dense id, or -1 for filtered rows
+
+	codes []int32 // root dict codes
+	i32   []int32 // root numeric arrays (one of i32/i64/f64 is set)
+	i64   []int64
+	f64   []float64
+	base  int64
+
+	card int
+	vals []query.Value // decode table for gdLeafVec
+	dict *storage.Dict // decode table for gdRootDict
+}
+
+// id returns the dense group id of root row r, or -1 if the row is excluded
+// by the owning leaf's predicates (group vectors double as filters, §4.3).
+func (d *groupDim) id(r int32) int32 {
+	switch d.kind {
+	case gdLeafVec:
+		for _, fk := range d.fks {
+			r = fk[r]
+		}
+		return d.vec[r]
+	case gdRootDict:
+		return d.codes[r]
+	default:
+		switch {
+		case d.i32 != nil:
+			return int32(int64(d.i32[r]) - d.base)
+		case d.i64 != nil:
+			return int32(d.i64[r] - d.base)
+		default:
+			return int32(int64(d.f64[r]) - d.base)
+		}
+	}
+}
+
+// decode maps a dense group id back to the group-by value.
+func (d *groupDim) decode(id int32) query.Value {
+	switch d.kind {
+	case gdLeafVec:
+		return d.vals[id]
+	case gdRootDict:
+		return query.StrValue(d.dict.Value(id))
+	default:
+		return query.NumValue(float64(d.base + int64(id)))
+	}
+}
+
+// aggPlan is one aggregate prepared for the aggregation phase: a recognized
+// dense-array fast path where possible, plus a generic compiled evaluator.
+type aggPlan struct {
+	agg  expr.Aggregate
+	kind expr.AggKind
+
+	// Fast paths (recognized forms over root-resident numeric columns).
+	form     expr.Form
+	aI32     []int32
+	aI64     []int64
+	aF64     []float64
+	bI32     []int32
+	bI64     []int64
+	bF64     []float64
+	fastPath bool
+
+	// eval is the generic per-root-row evaluator (nil for COUNT(*)).
+	eval func(int32) float64
+}
+
+// plan is a fully resolved execution plan for one query.
+type plan struct {
+	q       *query.Query
+	variant Variant
+	opt     Options
+	eng     *Engine
+
+	root    *storage.Table
+	rootN   int
+	rootDel *storage.Bitmap
+
+	rootFilters  []rootFilter
+	probeFilters []probeFilter
+	filters      []scanFilter // unified evaluation order
+
+	dims     []*groupDim
+	useArray bool
+	dimCards []int
+
+	aggKinds []expr.AggKind
+	aggs     []*aggPlan
+
+	stats  Stats
+	leafNS int64
+}
+
+// resolveVariant maps Auto to its concrete executor.
+func resolveVariant(v Variant) Variant { return v }
+
+// plan compiles q against the engine's schema, building predicate vectors,
+// group vectors, and aggregate evaluators. This is the "leaf processing"
+// phase of Fig. 10.
+func (e *Engine) plan(q *query.Query) (*plan, error) {
+	start := time.Now()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	pl := &plan{
+		q:       q,
+		variant: e.opt.Variant,
+		opt:     e.opt,
+		eng:     e,
+		root:    e.root,
+		rootN:   e.root.NumRows(),
+		rootDel: e.root.Deleted(),
+	}
+
+	if err := e.planFilters(pl); err != nil {
+		return nil, err
+	}
+	if err := e.planGroupDims(pl); err != nil {
+		return nil, err
+	}
+	if err := e.planAggs(pl); err != nil {
+		return nil, err
+	}
+	e.decideAggBackend(pl)
+
+	pl.leafNS = time.Since(start).Nanoseconds()
+	return pl, nil
+}
+
+// usePrefilter decides whether a predicate vector for table t fits the
+// cache budget (§4.2: "an optimizer is used to decide whether to use
+// predicate vectors, according to the row number of each table").
+func (e *Engine) usePrefilter(t *storage.Table) bool {
+	return e.opt.Variant.usesPrefilters() && t.NumRows() <= e.opt.PrefilterMaxRows
+}
+
+// planFilters resolves predicates, builds per-table predicate vectors,
+// folds snowflake chains into first-level dimensions where the budget
+// allows, and orders all filters most-selective-first.
+func (e *Engine) planFilters(pl *plan) error {
+	type tablePreds struct {
+		binding *schema.Binding // any binding of this table (for the path)
+		preds   []expr.Pred
+		cols    []storage.Column
+	}
+	perTable := make(map[*storage.Table]*tablePreds)
+	var tableOrder []*storage.Table
+
+	for _, p := range pl.q.Preds {
+		b, err := e.graph.Resolve(p.Col)
+		if err != nil {
+			return err
+		}
+		if b.OnRoot() {
+			filt, err := p.Filterer(b.Col)
+			if err != nil {
+				return err
+			}
+			pl.rootFilters = append(pl.rootFilters, rootFilter{
+				pred: p, col: b.Col, filt: filt, sel: p.EstimatedSel(),
+			})
+			continue
+		}
+		tp := perTable[b.Table]
+		if tp == nil {
+			tp = &tablePreds{binding: b}
+			perTable[b.Table] = tp
+			tableOrder = append(tableOrder, b.Table)
+		}
+		tp.preds = append(tp.preds, p)
+		tp.cols = append(tp.cols, b.Col)
+	}
+
+	// Build predicate vectors for tables within the cache budget.
+	vecs := make(map[*storage.Table]*storage.Bitmap)
+	for _, t := range tableOrder {
+		if !e.usePrefilter(t) {
+			continue
+		}
+		tp := perTable[t]
+		vec := storage.NewBitmap(t.NumRows())
+		vec.SetAll()
+		if del := t.Deleted(); del != nil {
+			vec.AndNot(del) // out-of-date tuples never match (§4.4)
+		}
+		tmp := storage.NewBitmap(t.NumRows())
+		for i, p := range tp.preds {
+			if err := p.Bitmap(tp.cols[i], tmp); err != nil {
+				return err
+			}
+			vec.And(tmp)
+		}
+		vecs[t] = vec
+	}
+
+	// Fold chains: push each vector one step toward the root while the
+	// hosting table also fits the budget, so an entire snowflake chain
+	// collapses into a single filter on its first-level dimension (§4.2).
+	depthOf := func(t *storage.Table) int { return e.graph.Depth(t) }
+	var vecTables []*storage.Table
+	for t := range vecs {
+		vecTables = append(vecTables, t)
+	}
+	sort.Slice(vecTables, func(i, j int) bool { return depthOf(vecTables[i]) > depthOf(vecTables[j]) })
+	for _, t := range vecTables {
+		vec := vecs[t]
+		if vec == nil {
+			continue
+		}
+		for depthOf(t) > 1 {
+			path, _ := e.graph.PathTo(t)
+			step := path[len(path)-1]
+			parent := step.From
+			if parent.NumRows() > e.opt.PrefilterMaxRows {
+				break // the paper's "probe the big table directly" case
+			}
+			pvec := vecs[parent]
+			if pvec == nil {
+				pvec = storage.NewBitmap(parent.NumRows())
+				pvec.SetAll()
+				if del := parent.Deleted(); del != nil {
+					pvec.AndNot(del)
+				}
+				vecs[parent] = pvec
+			}
+			fk := parent.Column(step.FKCol).(*storage.Int32Col).V
+			for i := 0; i < parent.NumRows(); i++ {
+				if pvec.Get(i) && !vec.Get(int(fk[i])) {
+					pvec.Clear(i)
+				}
+			}
+			delete(vecs, t)
+			t, vec = parent, pvec
+		}
+	}
+
+	// Emit probe filters: predicate vectors first (cheap bit probes), then
+	// direct matchers for tables without vectors.
+	for _, t := range e.graph.Tables() {
+		vec, ok := vecs[t]
+		if !ok {
+			continue
+		}
+		path, _ := e.graph.PathTo(t)
+		fks := make([][]int32, len(path))
+		for i, s := range path {
+			fks[i] = s.From.Column(s.FKCol).(*storage.Int32Col).V
+		}
+		sel := 1.0
+		if t.NumRows() > 0 {
+			sel = float64(vec.Count()) / float64(t.NumRows())
+		}
+		pl.probeFilters = append(pl.probeFilters, probeFilter{
+			table: t.Name, fks: fks, vec: vec, sel: sel,
+		})
+		pl.stats.PrefilterTables = append(pl.stats.PrefilterTables, t.Name)
+	}
+	for _, t := range tableOrder {
+		if _, folded := vecs[t]; folded {
+			continue
+		}
+		// The table's own vector may have been folded upward; if any
+		// ancestor holds a vector now, the predicates are already applied.
+		if e.coveredByVec(t, vecs) {
+			continue
+		}
+		tp := perTable[t]
+		matchers := make([]func(int32) bool, len(tp.preds))
+		sel := 1.0
+		for i, p := range tp.preds {
+			m, err := p.Matcher(tp.cols[i])
+			if err != nil {
+				return err
+			}
+			matchers[i] = m
+			sel *= p.EstimatedSel()
+		}
+		match := matchers[0]
+		if len(matchers) > 1 {
+			ms := matchers
+			match = func(r int32) bool {
+				for _, m := range ms {
+					if !m(r) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		fks := make([][]int32, len(tp.binding.Path))
+		for i, s := range tp.binding.Path {
+			fks[i] = s.From.Column(s.FKCol).(*storage.Int32Col).V
+		}
+		pl.probeFilters = append(pl.probeFilters, probeFilter{
+			table: t.Name, fks: fks, match: match, sel: sel,
+		})
+	}
+
+	// Unified evaluation order, most selective first (§4.1: the effect of
+	// selection-vector shrinkage is maximized by running the most
+	// selective predicates first). Probes through predicate vectors cost a
+	// little more per row than sequential root compares (one AIR hop plus
+	// a bit test); direct dimension probes cost much more (chain walk plus
+	// value comparison). The rank scales selectivity by those costs.
+	for i := range pl.rootFilters {
+		f := &pl.rootFilters[i]
+		pl.filters = append(pl.filters, scanFilter{root: f, rank: f.sel})
+	}
+	for i := range pl.probeFilters {
+		f := &pl.probeFilters[i]
+		cost := 1.3
+		if f.vec == nil {
+			cost = 2.5
+		}
+		cost += 0.2 * float64(len(f.fks)-1)
+		pl.filters = append(pl.filters, scanFilter{probe: f, rank: f.sel * cost})
+	}
+	sort.SliceStable(pl.filters, func(i, j int) bool {
+		return pl.filters[i].rank < pl.filters[j].rank
+	})
+	return nil
+}
+
+// coveredByVec reports whether the predicates of t were folded into a
+// predicate vector of some table on t's reference path.
+func (e *Engine) coveredByVec(t *storage.Table, vecs map[*storage.Table]*storage.Bitmap) bool {
+	path, _ := e.graph.PathTo(t)
+	for _, s := range path {
+		if s.From != e.root {
+			if _, ok := vecs[s.From]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// planGroupDims prepares a dense group-id mapping per grouping column: a
+// group vector plus dictionary for leaf columns (built while the leaf is
+// already being processed, §4.3), dictionary codes for root dict columns,
+// and base-offset encoding for root numeric columns.
+func (e *Engine) planGroupDims(pl *plan) error {
+	for _, name := range pl.q.GroupBy {
+		b, err := e.graph.Resolve(name)
+		if err != nil {
+			return err
+		}
+		if b.OnRoot() {
+			d, err := rootGroupDim(name, b.Col)
+			if err != nil {
+				return err
+			}
+			pl.dims = append(pl.dims, d)
+			continue
+		}
+		d, err := leafGroupDim(name, b)
+		if err != nil {
+			return err
+		}
+		pl.dims = append(pl.dims, d)
+	}
+	return nil
+}
+
+// rootGroupDim builds the group dimension for a root-table column.
+func rootGroupDim(name string, col storage.Column) (*groupDim, error) {
+	switch c := col.(type) {
+	case *storage.DictCol:
+		return &groupDim{
+			name: name, kind: gdRootDict, codes: c.Codes,
+			card: c.Dict.Len(), dict: c.Dict,
+		}, nil
+	case *storage.Int32Col:
+		lo, hi := int32Range(c.V)
+		return &groupDim{
+			name: name, kind: gdRootNum, i32: c.V,
+			base: int64(lo), card: int(int64(hi) - int64(lo) + 1),
+		}, nil
+	case *storage.Int64Col:
+		lo, hi := int64Range(c.V)
+		if hi-lo >= math.MaxInt32 {
+			return nil, fmt.Errorf("core: group column %s has range %d, too wide for dense ids", name, hi-lo)
+		}
+		return &groupDim{
+			name: name, kind: gdRootNum, i64: c.V,
+			base: lo, card: int(hi - lo + 1),
+		}, nil
+	case *storage.Float64Col:
+		return nil, fmt.Errorf("core: grouping by float column %s is not supported", name)
+	case *storage.StrCol:
+		return nil, fmt.Errorf("core: grouping by uncompressed string column %s on the fact table is not supported; dictionary-compress it", name)
+	default:
+		return nil, fmt.Errorf("core: unsupported group column type %T", col)
+	}
+}
+
+func int32Range(v []int32) (lo, hi int32) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func int64Range(v []int64) (lo, hi int64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// leafGroupDim builds the group vector and group dictionary for a grouping
+// column on a leaf table (Fig. 6): vec[i] is the dense group id of leaf row
+// i, and -1 for deleted rows.
+func leafGroupDim(name string, b *schema.Binding) (*groupDim, error) {
+	t := b.Table
+	n := t.NumRows()
+	d := &groupDim{name: name, kind: gdLeafVec, fks: b.FKArrays(), vec: make([]int32, n)}
+
+	switch c := b.Col.(type) {
+	case *storage.DictCol:
+		// Map dictionary codes to dense ids in first-appearance order.
+		codeID := make([]int32, c.Dict.Len())
+		for i := range codeID {
+			codeID[i] = -1
+		}
+		for i := 0; i < n; i++ {
+			if t.IsDeleted(i) {
+				d.vec[i] = -1
+				continue
+			}
+			code := c.Codes[i]
+			id := codeID[code]
+			if id < 0 {
+				id = int32(len(d.vals))
+				codeID[code] = id
+				d.vals = append(d.vals, query.StrValue(c.Dict.Value(code)))
+			}
+			d.vec[i] = id
+		}
+	case *storage.StrCol:
+		byStr := make(map[string]int32)
+		for i := 0; i < n; i++ {
+			if t.IsDeleted(i) {
+				d.vec[i] = -1
+				continue
+			}
+			s := c.V[i]
+			id, ok := byStr[s]
+			if !ok {
+				id = int32(len(d.vals))
+				byStr[s] = id
+				d.vals = append(d.vals, query.StrValue(s))
+			}
+			d.vec[i] = id
+		}
+	case *storage.Int32Col, *storage.Int64Col:
+		byNum := make(map[int64]int32)
+		for i := 0; i < n; i++ {
+			if t.IsDeleted(i) {
+				d.vec[i] = -1
+				continue
+			}
+			v, _ := storage.Int64At(b.Col, i)
+			id, ok := byNum[v]
+			if !ok {
+				id = int32(len(d.vals))
+				byNum[v] = id
+				d.vals = append(d.vals, query.NumValue(float64(v)))
+			}
+			d.vec[i] = id
+		}
+	default:
+		return nil, fmt.Errorf("core: unsupported group column type %s for %s", b.Col.Type(), name)
+	}
+	d.card = len(d.vals)
+	if d.card == 0 {
+		d.card = 1 // empty table: keep array shapes valid
+	}
+	return d, nil
+}
+
+// planAggs prepares the aggregate evaluators, recognizing dense fast paths
+// for root-resident measure expressions.
+func (e *Engine) planAggs(pl *plan) error {
+	for _, a := range pl.q.Aggs {
+		ap := &aggPlan{agg: a, kind: a.Kind}
+		pl.aggKinds = append(pl.aggKinds, a.Kind)
+		if a.Expr == nil { // COUNT(*)
+			pl.aggs = append(pl.aggs, ap)
+			continue
+		}
+
+		// Generic evaluator: column accessors composed with AIR chains.
+		eval, err := expr.Compile(a.Expr, func(name string) (func(int32) float64, error) {
+			b, err := e.graph.Resolve(name)
+			if err != nil {
+				return nil, err
+			}
+			acc, err := expr.ColAccessor(b.Col)
+			if err != nil {
+				return nil, err
+			}
+			if b.OnRoot() {
+				return acc, nil
+			}
+			rowOf := b.RowAccessor()
+			return func(r int32) float64 { return acc(rowOf(r)) }, nil
+		})
+		if err != nil {
+			return err
+		}
+		ap.eval = eval
+
+		// Fast path: recognized form with all referenced columns on the
+		// root table.
+		rec := expr.Recognize(a.Expr)
+		if rec.Form != expr.FGeneric {
+			ok := true
+			bindCol := func(name string) storage.Column {
+				b, err := e.graph.Resolve(name)
+				if err != nil || !b.OnRoot() {
+					ok = false
+					return nil
+				}
+				return b.Col
+			}
+			var ca, cb storage.Column
+			ca = bindCol(rec.A)
+			if rec.Form != expr.FCol {
+				cb = bindCol(rec.B)
+			}
+			if ok {
+				ap.form = rec.Form
+				assign := func(c storage.Column, i32 *[]int32, i64 *[]int64, f64 *[]float64) bool {
+					switch c := c.(type) {
+					case *storage.Int32Col:
+						*i32 = c.V
+					case *storage.Int64Col:
+						*i64 = c.V
+					case *storage.Float64Col:
+						*f64 = c.V
+					default:
+						return false
+					}
+					return true
+				}
+				ap.fastPath = assign(ca, &ap.aI32, &ap.aI64, &ap.aF64)
+				if ap.fastPath && cb != nil {
+					ap.fastPath = assign(cb, &ap.bI32, &ap.bI64, &ap.bF64)
+				}
+			}
+		}
+		pl.aggs = append(pl.aggs, ap)
+	}
+	return nil
+}
+
+// decideAggBackend chooses between the multidimensional aggregation array
+// and hash aggregation (§4.3: the optimizer estimates the sparsity/size of
+// the aggregation array).
+func (e *Engine) decideAggBackend(pl *plan) {
+	if pl.variant.rowWise() || pl.variant == ColWise || pl.variant == ColWisePF {
+		pl.useArray = false
+		return
+	}
+	cells := int64(1)
+	pl.dimCards = pl.dimCards[:0]
+	for _, d := range pl.dims {
+		pl.dimCards = append(pl.dimCards, d.card)
+		cells *= int64(d.card)
+		if cells > int64(agg.MaxArrayCells) {
+			pl.useArray = false
+			return
+		}
+	}
+	limit := int64(agg.MaxArrayCells)
+	if pl.variant == Auto {
+		limit = int64(e.opt.MaxArrayGroups)
+	}
+	pl.useArray = cells <= limit
+	pl.stats.UsedArrayAgg = pl.useArray
+}

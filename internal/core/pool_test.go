@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"astore/internal/expr"
+	"astore/internal/query"
+	"astore/internal/storage"
+)
+
+// TestArrayPoolReuseKeepsResultsCorrect runs the same and different queries
+// repeatedly on one engine: recycled aggregation arrays must never leak
+// state between runs.
+func TestArrayPoolReuseKeepsResultsCorrect(t *testing.T) {
+	fact := buildStar(t, 31, 3000)
+	eng, err := New(fact, Options{Variant: ColWisePFG, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := query.New("a").
+		Where(expr.StrEq("c_region", "ASIA")).
+		GroupByCols("c_nation", "d_year").
+		Agg(expr.SumOf(expr.C("f_revenue"), "rev"), expr.CountStar("n"))
+	q2 := query.New("b").
+		GroupByCols("c_nation", "d_year"). // same shape, different filter
+		Agg(expr.SumOf(expr.C("f_revenue"), "rev"), expr.CountStar("n"))
+
+	want1, err := eng.Run(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := eng.Run(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		got1, err := eng.Run(q1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := query.Diff(want1, got1, 1e-9); err != nil {
+			t.Fatalf("iteration %d q1: %v", i, err)
+		}
+		got2, err := eng.Run(q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := query.Diff(want2, got2, 1e-9); err != nil {
+			t.Fatalf("iteration %d q2: %v", i, err)
+		}
+	}
+}
+
+// TestArrayPoolConcurrentQueries hammers one engine from several goroutines
+// (run with -race): pooled arrays must never be shared between in-flight
+// queries.
+func TestArrayPoolConcurrentQueries(t *testing.T) {
+	fact := buildStar(t, 33, 2000)
+	eng, err := New(fact, Options{Variant: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.New("q").
+		GroupByCols("c_region", "d_year").
+		Agg(expr.SumOf(expr.C("f_revenue"), "rev"))
+	want, err := eng.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				got, err := eng.Run(q)
+				if err != nil {
+					done <- err
+					return
+				}
+				if err := query.Diff(want, got, 1e-9); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConsolidationPreservesQueryResults is the §4.4 invariant: deleting
+// dimension rows (after retargeting), consolidating, and re-running any
+// query gives the same result as before consolidation.
+func TestConsolidationPreservesQueryResults(t *testing.T) {
+	fact := buildStar(t, 35, 2000)
+	part := fact.FK("f_pk")
+
+	// Retarget all fact references to part rows 10..19 onto row 0, then
+	// delete those part rows.
+	fk := fact.Column("f_pk").(*storage.Int32Col)
+	for i, v := range fk.V {
+		if v >= 10 && v < 20 {
+			fk.V[i] = 0
+		}
+	}
+	for r := 10; r < 20; r++ {
+		if err := part.Delete(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := query.New("q").
+		Where(expr.IntLe("p_size", 12)).
+		GroupByCols("p_brand").
+		Agg(expr.CountStar("n"), expr.SumOf(expr.C("f_revenue"), "rev")).
+		OrderAsc("p_brand")
+
+	engBefore, err := New(fact, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engBefore.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db := storage.NewDatabase()
+	db.MustAdd(fact)
+	db.MustAdd(part)
+	db.MustAdd(fact.FK("f_dk"))
+	db.MustAdd(fact.FK("f_ck"))
+	if _, err := storage.Consolidate(db, part); err != nil {
+		t.Fatal(err)
+	}
+	if part.NumRows() != 30 {
+		t.Fatalf("part rows after consolidation = %d, want 30", part.NumRows())
+	}
+
+	engAfter, err := New(fact, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engAfter.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.Diff(want, got, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

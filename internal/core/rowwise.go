@@ -1,0 +1,83 @@
+package core
+
+import (
+	"encoding/binary"
+	"time"
+
+	"astore/internal/query"
+)
+
+// runRowWise executes the plan tuple-at-a-time (the AIRScan_R and
+// AIRScan_R_P variants of Table 6): each root tuple is fetched, evaluated
+// against every predicate — through AIR chains, or against predicate
+// vectors when the variant builds them — and fed to hash-based grouping and
+// aggregation. It exists to quantify what the column-wise optimizations
+// buy; it shares planning, parallelization, and result extraction with the
+// columnar path.
+func (e *Engine) runRowWise(pl *plan) (*query.Result, error) {
+	// Row-wise variants always aggregate into a hash table.
+	pl.useArray = false
+	pl.stats.UsedArrayAgg = false
+
+	// Pre-bind per-row testers following the plan's unified filter order.
+	tests := make([]func(int32) bool, 0, len(pl.filters))
+	for i := range pl.filters {
+		f := &pl.filters[i]
+		if f.root != nil {
+			m, err := f.root.pred.Matcher(f.root.col)
+			if err != nil {
+				return nil, err
+			}
+			tests = append(tests, m)
+		} else {
+			tests = append(tests, f.probe.keep)
+		}
+	}
+
+	spans := makeSpans(pl.rootN, pl.opt.Workers*pl.opt.PartitionsPerWorker)
+	process := func(p *partial, sp span) {
+		t0 := time.Now()
+		p.scanned += int64(sp.hi - sp.lo)
+		key := p.key
+		kinds := p.h.Kinds()
+	rows:
+		for r := int32(sp.lo); r < int32(sp.hi); r++ {
+			if pl.rootDel != nil && pl.rootDel.Get(int(r)) {
+				continue
+			}
+			for _, m := range tests {
+				if !m(r) {
+					continue rows
+				}
+			}
+			ok := true
+			for k, d := range pl.dims {
+				id := d.id(r)
+				if id < 0 {
+					ok = false
+					break
+				}
+				binary.LittleEndian.PutUint32(key[4*k:], uint32(id))
+			}
+			if !ok {
+				continue
+			}
+			p.selected++
+			c := p.h.Upsert(key)
+			c.Count++
+			for k, ap := range pl.aggs {
+				if ap.agg.Expr == nil {
+					continue
+				}
+				c.Update(kinds, k, ap.eval(r))
+			}
+		}
+		p.scanNS += time.Since(t0).Nanoseconds()
+	}
+
+	total, err := pl.runParallel(spans, process)
+	if err != nil {
+		return nil, err
+	}
+	return pl.extract(total)
+}

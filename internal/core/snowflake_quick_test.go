@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"astore/internal/expr"
+	"astore/internal/query"
+)
+
+// TestRandomSnowflakeQueriesQuick: random queries with predicates, group
+// columns, and measures spread across every depth of the 4-hop snowflake
+// fixture agree across all variants, worker counts, prefilter budgets, and
+// the oracle.
+func TestRandomSnowflakeQueriesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fact := buildSnowflakeLarge(t, seed, rng.Intn(2500)+200)
+
+		q := query.New("rand-snow")
+		// Predicates at random depths.
+		if rng.Intn(2) == 0 {
+			q.Where(expr.StrIn("r_name",
+				[]string{"ASIA", "AMERICA", "EUROPE"}[rng.Intn(3)],
+				[]string{"AFRICA", "MIDDLE EAST"}[rng.Intn(2)]))
+		}
+		if rng.Intn(2) == 0 {
+			q.Where(expr.IntGe("o_price", int64(rng.Intn(1500))))
+		}
+		if rng.Intn(2) == 0 {
+			q.Where(expr.StrEq("c_mktsegment",
+				[]string{"BUILDING", "MACHINERY", "AUTOMOBILE"}[rng.Intn(3)]))
+		}
+		if rng.Intn(3) == 0 {
+			q.Where(expr.FloatLt("l_discount", float64(rng.Intn(10))/100))
+		}
+		// Group columns at random depths (deduplicated).
+		groupPool := []string{"r_name", "n_name", "c_mktsegment", "p_type"}
+		perm := rng.Perm(len(groupPool))
+		for i := 0; i < rng.Intn(3); i++ {
+			q.GroupByCols(groupPool[perm[i]])
+		}
+		// Measures on the root and mid-chain.
+		q.Agg(expr.CountStar("n"))
+		switch rng.Intn(3) {
+		case 0:
+			q.Agg(expr.SumOf(expr.C("l_extendedprice"), "rev"))
+		case 1:
+			q.Agg(expr.SumOf(expr.C("o_price"), "ototal")) // mid-chain measure
+		case 2:
+			q.Agg(expr.AvgOf(expr.Mul(expr.C("l_extendedprice"),
+				expr.Subtract(expr.K(1), expr.C("l_discount"))), "m"))
+		}
+
+		want, err := naiveRun(fact, q)
+		if err != nil {
+			return false
+		}
+		budgets := []int{0, 1, 100} // default, none, stop-at-order
+		for _, v := range allVariants() {
+			eng, err := New(fact, Options{
+				Variant:          v,
+				Workers:          1 + rng.Intn(3),
+				PrefilterMaxRows: budgets[rng.Intn(len(budgets))],
+			})
+			if err != nil {
+				return false
+			}
+			got, err := eng.Run(q)
+			if err != nil {
+				t.Logf("seed %d [%s]: %v", seed, v, err)
+				return false
+			}
+			if err := query.Diff(want, got, 1e-9); err != nil {
+				t.Logf("seed %d [%s]: %v", seed, v, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package ssb
+
+import (
+	"astore/internal/expr"
+	"astore/internal/query"
+)
+
+// Queries returns the 13 SSB queries Q1.1–Q4.3 expressed in the SPJGA query
+// model, with the specification's selectivity estimates attached so the
+// engine can order predicate evaluation.
+func Queries() []*query.Query {
+	return []*query.Query{Q1_1(), Q1_2(), Q1_3(), Q2_1(), Q2_2(), Q2_3(),
+		Q3_1(), Q3_2(), Q3_3(), Q3_4(), Q4_1(), Q4_2(), Q4_3()}
+}
+
+// Q1_1 is SSB Q1.1: yearly revenue gain from eliminating discounts.
+func Q1_1() *query.Query {
+	return query.New("Q1.1").
+		Where(
+			expr.IntEq("d_year", 1993).WithSel(1.0/7),
+			expr.IntBetween("lo_discount", 1, 3).WithSel(3.0/11),
+			expr.IntLt("lo_quantity", 25).WithSel(24.0/50),
+		).
+		Agg(expr.SumOf(expr.Mul(expr.C("lo_extendedprice"), expr.C("lo_discount")), "revenue"))
+}
+
+// Q1_2 is SSB Q1.2.
+func Q1_2() *query.Query {
+	return query.New("Q1.2").
+		Where(
+			expr.IntEq("d_yearmonthnum", 199401).WithSel(1.0/84),
+			expr.IntBetween("lo_discount", 4, 6).WithSel(3.0/11),
+			expr.IntBetween("lo_quantity", 26, 35).WithSel(10.0/50),
+		).
+		Agg(expr.SumOf(expr.Mul(expr.C("lo_extendedprice"), expr.C("lo_discount")), "revenue"))
+}
+
+// Q1_3 is SSB Q1.3.
+func Q1_3() *query.Query {
+	return query.New("Q1.3").
+		Where(
+			expr.IntEq("d_weeknuminyear", 6).WithSel(1.0/53),
+			expr.IntEq("d_year", 1994).WithSel(1.0/7),
+			expr.IntBetween("lo_discount", 5, 7).WithSel(3.0/11),
+			expr.IntBetween("lo_quantity", 26, 35).WithSel(10.0/50),
+		).
+		Agg(expr.SumOf(expr.Mul(expr.C("lo_extendedprice"), expr.C("lo_discount")), "revenue"))
+}
+
+// Q2_1 is SSB Q2.1: revenue by year and brand for one category and one
+// supplier region.
+func Q2_1() *query.Query {
+	return query.New("Q2.1").
+		Where(
+			expr.StrEq("p_category", "MFGR#12").WithSel(1.0/25),
+			expr.StrEq("s_region", "AMERICA").WithSel(1.0/5),
+		).
+		GroupByCols("d_year", "p_brand1").
+		Agg(expr.SumOf(expr.C("lo_revenue"), "revenue")).
+		OrderAsc("d_year").OrderAsc("p_brand1")
+}
+
+// Q2_2 is SSB Q2.2 (brand range).
+func Q2_2() *query.Query {
+	return query.New("Q2.2").
+		Where(
+			expr.StrBetween("p_brand1", "MFGR#2221", "MFGR#2228").WithSel(8.0/1000),
+			expr.StrEq("s_region", "ASIA").WithSel(1.0/5),
+		).
+		GroupByCols("d_year", "p_brand1").
+		Agg(expr.SumOf(expr.C("lo_revenue"), "revenue")).
+		OrderAsc("d_year").OrderAsc("p_brand1")
+}
+
+// Q2_3 is SSB Q2.3 (single brand).
+func Q2_3() *query.Query {
+	return query.New("Q2.3").
+		Where(
+			expr.StrEq("p_brand1", "MFGR#2221").WithSel(1.0/1000),
+			expr.StrEq("s_region", "EUROPE").WithSel(1.0/5),
+		).
+		GroupByCols("d_year", "p_brand1").
+		Agg(expr.SumOf(expr.C("lo_revenue"), "revenue")).
+		OrderAsc("d_year").OrderAsc("p_brand1")
+}
+
+// Q3_1 is SSB Q3.1: revenue by customer/supplier nation over six years —
+// the paper's running example (Q1 of §3).
+func Q3_1() *query.Query {
+	return query.New("Q3.1").
+		Where(
+			expr.StrEq("c_region", "ASIA").WithSel(1.0/5),
+			expr.StrEq("s_region", "ASIA").WithSel(1.0/5),
+			expr.IntBetween("d_year", 1992, 1997).WithSel(6.0/7),
+		).
+		GroupByCols("c_nation", "s_nation", "d_year").
+		Agg(expr.SumOf(expr.C("lo_revenue"), "revenue")).
+		OrderAsc("d_year").OrderDesc("revenue")
+}
+
+// Q3_2 is SSB Q3.2 (city level within one nation).
+func Q3_2() *query.Query {
+	return query.New("Q3.2").
+		Where(
+			expr.StrEq("c_nation", "UNITED STATES").WithSel(1.0/25),
+			expr.StrEq("s_nation", "UNITED STATES").WithSel(1.0/25),
+			expr.IntBetween("d_year", 1992, 1997).WithSel(6.0/7),
+		).
+		GroupByCols("c_city", "s_city", "d_year").
+		Agg(expr.SumOf(expr.C("lo_revenue"), "revenue")).
+		OrderAsc("d_year").OrderDesc("revenue")
+}
+
+// Q3_3 is SSB Q3.3 (two cities).
+func Q3_3() *query.Query {
+	return query.New("Q3.3").
+		Where(
+			expr.StrIn("c_city", "UNITED KI1", "UNITED KI5").WithSel(2.0/250),
+			expr.StrIn("s_city", "UNITED KI1", "UNITED KI5").WithSel(2.0/250),
+			expr.IntBetween("d_year", 1992, 1997).WithSel(6.0/7),
+		).
+		GroupByCols("c_city", "s_city", "d_year").
+		Agg(expr.SumOf(expr.C("lo_revenue"), "revenue")).
+		OrderAsc("d_year").OrderDesc("revenue")
+}
+
+// Q3_4 is SSB Q3.4 (two cities, one month).
+func Q3_4() *query.Query {
+	return query.New("Q3.4").
+		Where(
+			expr.StrIn("c_city", "UNITED KI1", "UNITED KI5").WithSel(2.0/250),
+			expr.StrIn("s_city", "UNITED KI1", "UNITED KI5").WithSel(2.0/250),
+			expr.StrEq("d_yearmonth", "Dec1997").WithSel(1.0/84),
+		).
+		GroupByCols("c_city", "s_city", "d_year").
+		Agg(expr.SumOf(expr.C("lo_revenue"), "revenue")).
+		OrderAsc("d_year").OrderDesc("revenue")
+}
+
+// Q4_1 is SSB Q4.1: profit by year and customer nation.
+func Q4_1() *query.Query {
+	return query.New("Q4.1").
+		Where(
+			expr.StrEq("c_region", "AMERICA").WithSel(1.0/5),
+			expr.StrEq("s_region", "AMERICA").WithSel(1.0/5),
+			expr.StrIn("p_mfgr", "MFGR#1", "MFGR#2").WithSel(2.0/5),
+		).
+		GroupByCols("d_year", "c_nation").
+		Agg(expr.SumOf(expr.Subtract(expr.C("lo_revenue"), expr.C("lo_supplycost")), "profit")).
+		OrderAsc("d_year").OrderAsc("c_nation")
+}
+
+// Q4_2 is SSB Q4.2.
+func Q4_2() *query.Query {
+	return query.New("Q4.2").
+		Where(
+			expr.StrEq("c_region", "AMERICA").WithSel(1.0/5),
+			expr.StrEq("s_region", "AMERICA").WithSel(1.0/5),
+			expr.IntIn("d_year", 1997, 1998).WithSel(2.0/7),
+			expr.StrIn("p_mfgr", "MFGR#1", "MFGR#2").WithSel(2.0/5),
+		).
+		GroupByCols("d_year", "s_nation", "p_category").
+		Agg(expr.SumOf(expr.Subtract(expr.C("lo_revenue"), expr.C("lo_supplycost")), "profit")).
+		OrderAsc("d_year").OrderAsc("s_nation").OrderAsc("p_category")
+}
+
+// Q4_3 is SSB Q4.3.
+func Q4_3() *query.Query {
+	return query.New("Q4.3").
+		Where(
+			expr.StrEq("c_region", "AMERICA").WithSel(1.0/5),
+			expr.StrEq("s_nation", "UNITED STATES").WithSel(1.0/25),
+			expr.IntIn("d_year", 1997, 1998).WithSel(2.0/7),
+			expr.StrEq("p_category", "MFGR#14").WithSel(1.0/25),
+		).
+		GroupByCols("d_year", "s_city", "p_brand1").
+		Agg(expr.SumOf(expr.Subtract(expr.C("lo_revenue"), expr.C("lo_supplycost")), "profit")).
+		OrderAsc("d_year").OrderAsc("s_city").OrderAsc("p_brand1")
+}
+
+// StarJoinQueries returns the simplified star-join micro-benchmark of Table
+// 3: the 13 SSB queries with COUNT(*) instead of their aggregates and with
+// grouping removed, isolating the join work.
+func StarJoinQueries() []*query.Query {
+	out := make([]*query.Query, 0, 13)
+	for _, q := range Queries() {
+		sj := query.New(q.Name)
+		sj.Preds = q.Preds
+		sj.Agg(expr.CountStar("matches"))
+		out = append(out, sj)
+	}
+	return out
+}

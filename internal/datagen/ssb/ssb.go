@@ -1,0 +1,273 @@
+// Package ssb generates Star Schema Benchmark data in A-Store's array-family
+// storage model, and defines the 13 SSB queries (Q1.1–Q4.3) in the SPJGA
+// query model.
+//
+// Cardinalities follow the SSB specification (O'Neil et al.), scaled by SF:
+//
+//	lineorder  6,000,000 × SF
+//	customer      30,000 × SF
+//	supplier       2,000 × SF
+//	part       200,000 × (1 + log2(SF)) for SF >= 1, linear below
+//	date           2,556 (7 years, 1992–1998; fixed)
+//
+// which reproduces the paper's SF=100 sizes (600 M, 3 M, 200 K, ~1.53 M,
+// 2,555). Foreign keys are stored as array index references: lo_custkey is
+// the row number of the customer, and so on. Value distributions follow the
+// SSB dbgen rules closely enough for every query's selectivity to land near
+// its specified value (for example Q1.1 ≈ 1.9 %).
+package ssb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"astore/internal/storage"
+)
+
+// Config controls generation.
+type Config struct {
+	// SF is the scale factor; 1.0 corresponds to 6M lineorder rows.
+	SF float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Data is a generated SSB database.
+type Data struct {
+	DB        *storage.Database
+	Lineorder *storage.Table
+	Customer  *storage.Table
+	Supplier  *storage.Table
+	Part      *storage.Table
+	Date      *storage.Table
+}
+
+// Regions and nations follow the TPC-H/SSB domain: 5 regions with 5 nations
+// each; cities are the 9-character nation prefix plus a digit (250 cities).
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationNames = []string{
+	"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE", // AFRICA
+	"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES", // AMERICA
+	"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM", // ASIA
+	"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM", // EUROPE
+	"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA", // MIDDLE EAST
+}
+
+// nationRegion maps nation index to region index.
+func nationRegion(n int) int { return n / 5 }
+
+// cityName builds the SSB city name: nation padded/truncated to 9 chars
+// plus a digit, e.g. "UNITED KI1".
+func cityName(nation string, digit int) string {
+	padded := nation + "          "
+	return fmt.Sprintf("%s%d", padded[:9], digit)
+}
+
+// Sizes returns the table cardinalities at scale factor sf.
+func Sizes(sf float64) (lineorder, customer, supplier, part, date int) {
+	scale := func(base int) int {
+		n := int(math.Round(float64(base) * sf))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	lineorder = scale(6_000_000)
+	customer = scale(30_000)
+	supplier = scale(2_000)
+	if sf >= 1 {
+		part = int(200_000 * (1 + math.Log2(sf)))
+	} else {
+		part = scale(200_000)
+	}
+	if part < 1 {
+		part = 1
+	}
+	date = 2556
+	return
+}
+
+// Generate builds an SSB database at cfg.SF.
+func Generate(cfg Config) *Data {
+	if cfg.SF <= 0 {
+		cfg.SF = 0.01
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nLO, nCust, nSupp, nPart, nDate := Sizes(cfg.SF)
+
+	d := &Data{DB: storage.NewDatabase()}
+	d.Date = genDate(nDate)
+	d.Customer = genCustomer(rng, nCust)
+	d.Supplier = genSupplier(rng, nSupp)
+	d.Part = genPart(rng, nPart)
+	d.Lineorder = genLineorder(rng, nLO, nDate, nCust, nSupp, nPart, d)
+	for _, t := range []*storage.Table{d.Lineorder, d.Customer, d.Supplier, d.Part, d.Date} {
+		d.DB.MustAdd(t)
+	}
+	return d
+}
+
+var monthNames = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+	"Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+var daysInMonth = []int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+// genDate builds the 7-year date dimension (1992-01-01 .. 1998-12-31).
+func genDate(n int) *storage.Table {
+	datekey := make([]int32, 0, n)
+	year := make([]int32, 0, n)
+	yearmonthnum := make([]int32, 0, n)
+	weeknum := make([]int32, 0, n)
+	daynum := make([]int32, 0, n)
+	month := storage.NewDictCol(storage.NewDict())
+	yearmonth := storage.NewDictCol(storage.NewDict())
+
+	count := 0
+	for y := 1992; y <= 1998 && count < n; y++ {
+		leap := y%4 == 0
+		dayOfYear := 0
+		for m := 0; m < 12 && count < n; m++ {
+			dim := daysInMonth[m]
+			if m == 1 && leap {
+				dim = 29
+			}
+			for day := 1; day <= dim && count < n; day++ {
+				dayOfYear++
+				datekey = append(datekey, int32(y*10000+(m+1)*100+day))
+				year = append(year, int32(y))
+				yearmonthnum = append(yearmonthnum, int32(y*100+m+1))
+				weeknum = append(weeknum, int32((dayOfYear-1)/7+1))
+				daynum = append(daynum, int32(day))
+				month.Append(monthNames[m])
+				yearmonth.Append(fmt.Sprintf("%s%d", monthNames[m], y))
+				count++
+			}
+		}
+	}
+	t := storage.NewTable("date")
+	t.MustAddColumn("d_datekey", storage.NewInt32Col(datekey))
+	t.MustAddColumn("d_year", storage.NewInt32Col(year))
+	t.MustAddColumn("d_yearmonthnum", storage.NewInt32Col(yearmonthnum))
+	t.MustAddColumn("d_yearmonth", yearmonth)
+	t.MustAddColumn("d_month", month)
+	t.MustAddColumn("d_weeknuminyear", storage.NewInt32Col(weeknum))
+	t.MustAddColumn("d_daynuminmonth", storage.NewInt32Col(daynum))
+	return t
+}
+
+func genCustomer(rng *rand.Rand, n int) *storage.Table {
+	name := make([]string, n)
+	city := storage.NewDictCol(storage.NewDict())
+	nation := storage.NewDictCol(storage.NewDict())
+	region := storage.NewDictCol(storage.NewDict())
+	mkt := storage.NewDictCol(storage.NewDict())
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	for i := 0; i < n; i++ {
+		ni := rng.Intn(25)
+		name[i] = fmt.Sprintf("Customer#%09d", i)
+		nation.Append(nationNames[ni])
+		region.Append(regionNames[nationRegion(ni)])
+		city.Append(cityName(nationNames[ni], rng.Intn(10)))
+		mkt.Append(segments[rng.Intn(len(segments))])
+	}
+	t := storage.NewTable("customer")
+	t.MustAddColumn("c_name", storage.NewStrCol(name))
+	t.MustAddColumn("c_city", city)
+	t.MustAddColumn("c_nation", nation)
+	t.MustAddColumn("c_region", region)
+	t.MustAddColumn("c_mktsegment", mkt)
+	return t
+}
+
+func genSupplier(rng *rand.Rand, n int) *storage.Table {
+	name := make([]string, n)
+	city := storage.NewDictCol(storage.NewDict())
+	nation := storage.NewDictCol(storage.NewDict())
+	region := storage.NewDictCol(storage.NewDict())
+	for i := 0; i < n; i++ {
+		ni := rng.Intn(25)
+		name[i] = fmt.Sprintf("Supplier#%09d", i)
+		nation.Append(nationNames[ni])
+		region.Append(regionNames[nationRegion(ni)])
+		city.Append(cityName(nationNames[ni], rng.Intn(10)))
+	}
+	t := storage.NewTable("supplier")
+	t.MustAddColumn("s_name", storage.NewStrCol(name))
+	t.MustAddColumn("s_city", city)
+	t.MustAddColumn("s_nation", nation)
+	t.MustAddColumn("s_region", region)
+	return t
+}
+
+func genPart(rng *rand.Rand, n int) *storage.Table {
+	mfgr := storage.NewDictCol(storage.NewDict())
+	category := storage.NewDictCol(storage.NewDict())
+	brand := storage.NewDictCol(storage.NewDict())
+	color := storage.NewDictCol(storage.NewDict())
+	size := make([]int32, n)
+	colors := []string{"red", "green", "blue", "ivory", "black", "azure", "plum", "linen"}
+	for i := 0; i < n; i++ {
+		m := rng.Intn(5) + 1  // MFGR#1..5
+		c := rng.Intn(5) + 1  // category digit 1..5
+		b := rng.Intn(40) + 1 // brand 1..40 within category
+		mfgr.Append(fmt.Sprintf("MFGR#%d", m))
+		category.Append(fmt.Sprintf("MFGR#%d%d", m, c))
+		brand.Append(fmt.Sprintf("MFGR#%d%d%d", m, c, b))
+		color.Append(colors[rng.Intn(len(colors))])
+		size[i] = int32(rng.Intn(50) + 1)
+	}
+	t := storage.NewTable("part")
+	t.MustAddColumn("p_mfgr", mfgr)
+	t.MustAddColumn("p_category", category)
+	t.MustAddColumn("p_brand1", brand)
+	t.MustAddColumn("p_color", color)
+	t.MustAddColumn("p_size", storage.NewInt32Col(size))
+	return t
+}
+
+func genLineorder(rng *rand.Rand, n, nDate, nCust, nSupp, nPart int, d *Data) *storage.Table {
+	custkey := make([]int32, n)
+	suppkey := make([]int32, n)
+	partkey := make([]int32, n)
+	orderdate := make([]int32, n)
+	quantity := make([]int32, n)
+	discount := make([]int32, n)
+	extprice := make([]int64, n)
+	ordtotal := make([]int64, n)
+	revenue := make([]int64, n)
+	supplycost := make([]int64, n)
+	tax := make([]int32, n)
+	for i := 0; i < n; i++ {
+		custkey[i] = int32(rng.Intn(nCust))
+		suppkey[i] = int32(rng.Intn(nSupp))
+		partkey[i] = int32(rng.Intn(nPart))
+		orderdate[i] = int32(rng.Intn(nDate))
+		quantity[i] = int32(rng.Intn(50) + 1)
+		discount[i] = int32(rng.Intn(11))
+		price := int64(rng.Intn(100_000) + 900)
+		extprice[i] = int64(quantity[i]) * price
+		ordtotal[i] = extprice[i]
+		revenue[i] = extprice[i] * int64(100-discount[i]) / 100
+		supplycost[i] = price * 6 / 10
+		tax[i] = int32(rng.Intn(9))
+	}
+	t := storage.NewTable("lineorder")
+	t.MustAddColumn("lo_custkey", storage.NewInt32Col(custkey))
+	t.MustAddColumn("lo_suppkey", storage.NewInt32Col(suppkey))
+	t.MustAddColumn("lo_partkey", storage.NewInt32Col(partkey))
+	t.MustAddColumn("lo_orderdate", storage.NewInt32Col(orderdate))
+	t.MustAddColumn("lo_quantity", storage.NewInt32Col(quantity))
+	t.MustAddColumn("lo_discount", storage.NewInt32Col(discount))
+	t.MustAddColumn("lo_extendedprice", storage.NewInt64Col(extprice))
+	t.MustAddColumn("lo_ordtotalprice", storage.NewInt64Col(ordtotal))
+	t.MustAddColumn("lo_revenue", storage.NewInt64Col(revenue))
+	t.MustAddColumn("lo_supplycost", storage.NewInt64Col(supplycost))
+	t.MustAddColumn("lo_tax", storage.NewInt32Col(tax))
+	t.MustAddFK("lo_custkey", d.Customer)
+	t.MustAddFK("lo_suppkey", d.Supplier)
+	t.MustAddFK("lo_partkey", d.Part)
+	t.MustAddFK("lo_orderdate", d.Date)
+	return t
+}

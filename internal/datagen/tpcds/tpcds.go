@@ -1,0 +1,139 @@
+// Package tpcds generates the TPC-DS subset used by the paper's join
+// micro-benchmark (Table 2): the store_sales fact table and the nine join
+// targets it is measured against, with the size ratios of the paper's SF=100
+// configuration preserved under linear scaling:
+//
+//	store_sales            287,997,024 × (SF/100)
+//	store                          402 × (SF/100)
+//	date_dim                    73,094 × (SF/100)
+//	time_dim                    86,400 × (SF/100)
+//	household_demographics       7,200 × (SF/100)
+//	customer_demographics    1,920,800 × (SF/100)
+//	customer                 2,000,000 × (SF/100)
+//	item                       204,000 × (SF/100)
+//	promotion                    1,000 × (SF/100)
+//	store_returns           28,795,080 × (SF/100)
+//
+// Substitution note: the genuine TPC-DS dbgen produces dozens of columns
+// per table; the join micro-benchmark only exercises FK->PK traversals and
+// one payload access per matched dimension row, so each dimension here
+// carries a name column and an int64 payload. store_returns, which TPC-DS
+// links to sales via shared ticket numbers, is modeled as a direct AIR
+// target of store_sales to reproduce the paper's 10:1 fact-to-returns join.
+package tpcds
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"astore/internal/storage"
+)
+
+// Config controls generation.
+type Config struct {
+	// SF is the TPC-DS scale factor; 100 reproduces the paper's sizes.
+	SF float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Data is a generated TPC-DS subset: the fact table plus its join targets.
+type Data struct {
+	DB         *storage.Database
+	StoreSales *storage.Table
+	Dims       map[string]*storage.Table
+}
+
+// dimSpec lists the join targets with their SF=100 cardinality and the fact
+// table's FK column name.
+var dimSpec = []struct {
+	name  string
+	fkCol string
+	sf100 int
+}{
+	{"store", "ss_store_sk", 402},
+	{"date_dim", "ss_sold_date_sk", 73_094},
+	{"time_dim", "ss_sold_time_sk", 86_400},
+	{"household_demographics", "ss_hdemo_sk", 7_200},
+	{"customer_demographics", "ss_cdemo_sk", 1_920_800},
+	{"customer", "ss_customer_sk", 2_000_000},
+	{"item", "ss_item_sk", 204_000},
+	{"promotion", "ss_promo_sk", 1_000},
+	{"store_returns", "ss_return_sk", 28_795_080},
+}
+
+// FactSF100 is the paper's store_sales cardinality at SF=100.
+const FactSF100 = 287_997_024
+
+// Sizes returns the fact cardinality and per-dimension cardinalities at sf.
+func Sizes(sf float64) (fact int, dims map[string]int) {
+	ratio := sf / 100
+	scale := func(base int) int {
+		n := int(math.Round(float64(base) * ratio))
+		if n < 2 {
+			n = 2
+		}
+		return n
+	}
+	dims = make(map[string]int, len(dimSpec))
+	for _, d := range dimSpec {
+		dims[d.name] = scale(d.sf100)
+	}
+	return scale(FactSF100), dims
+}
+
+// Generate builds the TPC-DS subset at cfg.SF.
+func Generate(cfg Config) *Data {
+	if cfg.SF <= 0 {
+		cfg.SF = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nFact, dimSizes := Sizes(cfg.SF)
+
+	d := &Data{DB: storage.NewDatabase(), Dims: make(map[string]*storage.Table)}
+	fact := storage.NewTable("store_sales")
+
+	fks := make(map[string][]int32, len(dimSpec))
+	for _, spec := range dimSpec {
+		n := dimSizes[spec.name]
+		dim := storage.NewTable(spec.name)
+		names := make([]string, n)
+		payload := make([]int64, n)
+		for i := 0; i < n; i++ {
+			names[i] = fmt.Sprintf("%s#%d", spec.name, i)
+			payload[i] = int64(rng.Intn(1000))
+		}
+		dim.MustAddColumn(spec.name+"_name", storage.NewStrCol(names))
+		dim.MustAddColumn(spec.name+"_payload", storage.NewInt64Col(payload))
+		d.Dims[spec.name] = dim
+
+		fk := make([]int32, nFact)
+		for i := range fk {
+			fk[i] = int32(rng.Intn(n))
+		}
+		fks[spec.fkCol] = fk
+	}
+
+	qty := make([]int32, nFact)
+	price := make([]int64, nFact)
+	for i := 0; i < nFact; i++ {
+		qty[i] = int32(rng.Intn(100) + 1)
+		price[i] = int64(rng.Intn(10000))
+	}
+	for _, spec := range dimSpec {
+		fact.MustAddColumn(spec.fkCol, storage.NewInt32Col(fks[spec.fkCol]))
+	}
+	fact.MustAddColumn("ss_quantity", storage.NewInt32Col(qty))
+	fact.MustAddColumn("ss_sales_price", storage.NewInt64Col(price))
+	for _, spec := range dimSpec {
+		fact.MustAddFK(spec.fkCol, d.Dims[spec.name])
+	}
+	d.StoreSales = fact
+
+	d.DB.MustAdd(fact)
+	for _, spec := range dimSpec {
+		d.DB.MustAdd(d.Dims[spec.name])
+	}
+	return d
+}

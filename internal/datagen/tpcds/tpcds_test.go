@@ -1,0 +1,83 @@
+package tpcds
+
+import (
+	"testing"
+
+	"astore/internal/core"
+	"astore/internal/expr"
+	"astore/internal/query"
+	"astore/internal/storage"
+	"astore/internal/testutil"
+)
+
+func TestSizesPreserveRatios(t *testing.T) {
+	fact, dims := Sizes(100)
+	if fact != FactSF100 {
+		t.Errorf("fact = %d", fact)
+	}
+	if dims["store"] != 402 || dims["customer_demographics"] != 1_920_800 ||
+		dims["store_returns"] != 28_795_080 {
+		t.Errorf("dims = %v", dims)
+	}
+	factS, dimsS := Sizes(0.1)
+	// Ratio fact:store_returns stays ~10:1 under scaling.
+	ratio := float64(factS) / float64(dimsS["store_returns"])
+	if ratio < 8 || ratio > 12 {
+		t.Errorf("fact:store_returns ratio = %.1f", ratio)
+	}
+	if dimsS["store"] < 2 {
+		t.Errorf("store too small: %d", dimsS["store"])
+	}
+}
+
+func TestGenerateIntegrity(t *testing.T) {
+	d := Generate(Config{SF: 0.02, Seed: 4})
+	if err := d.DB.ValidateAIR(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Dims) != 9 {
+		t.Errorf("dims = %d", len(d.Dims))
+	}
+	if len(d.StoreSales.FKs()) != 9 {
+		t.Errorf("fact FKs = %d", len(d.StoreSales.FKs()))
+	}
+}
+
+func TestQueryableAsStarSchema(t *testing.T) {
+	d := Generate(Config{SF: 0.02, Seed: 4})
+	eng, err := core.New(d.StoreSales, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.New("ds").
+		Where(expr.IntGe("ss_quantity", 50)).
+		GroupByCols("store_name").
+		Agg(expr.SumOf(expr.C("ss_sales_price"), "sales")).
+		OrderDesc("sales")
+	want, err := testutil.NaiveRun(d.StoreSales, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.Diff(want, got, 1e-9); err != nil {
+		t.Error(err)
+	}
+	if len(got.Rows) == 0 {
+		t.Error("no rows")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{SF: 0.01, Seed: 6})
+	b := Generate(Config{SF: 0.01, Seed: 6})
+	va := a.StoreSales.Column("ss_item_sk").(*storage.Int32Col).V
+	vb := b.StoreSales.Column("ss_item_sk").(*storage.Int32Col).V
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}

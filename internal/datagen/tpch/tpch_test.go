@@ -1,0 +1,96 @@
+package tpch
+
+import (
+	"testing"
+
+	"astore/internal/baseline"
+	"astore/internal/core"
+	"astore/internal/query"
+	"astore/internal/storage"
+	"astore/internal/testutil"
+)
+
+func TestSizes(t *testing.T) {
+	li, o, c, s, p := Sizes(100)
+	if li != 600_000_000 || o != 150_000_000 || c != 15_000_000 || s != 1_000_000 || p != 20_000_000 {
+		t.Errorf("SF=100 sizes = %d %d %d %d %d", li, o, c, s, p)
+	}
+}
+
+func TestGenerateIntegrityAndShape(t *testing.T) {
+	d := Generate(Config{SF: 0.002, Seed: 5})
+	if err := d.DB.ValidateAIR(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Nation.NumRows() != 25 || d.Region.NumRows() != 5 {
+		t.Errorf("nation=%d region=%d", d.Nation.NumRows(), d.Region.NumRows())
+	}
+	// The snowflake chain must resolve through 4 hops.
+	eng, err := core.New(d.Lineitem, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := eng.Graph()
+	if g.Depth(d.Region) != 4 {
+		t.Errorf("region depth = %d, want 4", g.Depth(d.Region))
+	}
+	if g.Depth(d.Part) != 1 || g.Depth(d.Supplier) != 1 {
+		t.Error("part/supplier not first-level dimensions")
+	}
+	disc := d.Lineitem.Column("l_discount").(*storage.Float64Col).V
+	for _, v := range disc {
+		if v < 0 || v > 0.10 {
+			t.Fatalf("discount out of range: %g", v)
+		}
+	}
+}
+
+func TestQ3AllEngines(t *testing.T) {
+	d := Generate(Config{SF: 0.002, Seed: 9})
+	q := Q3()
+	want, err := testutil.NaiveRun(d.Lineitem, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("Q3 returned no rows; fixture too small")
+	}
+
+	for _, v := range []core.Variant{core.Auto, core.RowWise, core.ColWise, core.ColWisePF, core.ColWisePFG} {
+		eng, err := core.New(d.Lineitem, core.Options{Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Run(q)
+		if err != nil {
+			t.Fatalf("[%s]: %v", v, err)
+		}
+		if err := query.Diff(want, got, 1e-9); err != nil {
+			t.Errorf("[%s]: %v", v, err)
+		}
+	}
+	for _, eng := range []baseline.Engine{
+		baseline.NewHashJoinEngine(d.Lineitem),
+		baseline.NewVectorEngine(d.Lineitem),
+	} {
+		got, err := eng.Run(q)
+		if err != nil {
+			t.Fatalf("[%s]: %v", eng.Name(), err)
+		}
+		if err := query.Diff(want, got, 1e-9); err != nil {
+			t.Errorf("[%s]: %v", eng.Name(), err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{SF: 0.001, Seed: 2})
+	b := Generate(Config{SF: 0.001, Seed: 2})
+	va := a.Lineitem.Column("l_extendedprice").(*storage.Float64Col).V
+	vb := b.Lineitem.Column("l_extendedprice").(*storage.Float64Col).V
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package expr
+
+import (
+	"fmt"
+
+	"astore/internal/storage"
+)
+
+// Bitmap evaluates the predicate over the entire column and sets out's bit i
+// for every matching row i. out must have length c.Len(); previously set
+// bits are cleared. This is the predicate-vector construction primitive of
+// §4.2 (run against dimension tables, whose bit vectors then fit in cache).
+func (p Pred) Bitmap(c storage.Column, out *storage.Bitmap) error {
+	if out.Len() != c.Len() {
+		return fmt.Errorf("expr: bitmap length %d != column length %d", out.Len(), c.Len())
+	}
+	out.Reset()
+
+	// Fast paths over dense arrays.
+	switch col := c.(type) {
+	case *storage.Int32Col:
+		if p.Kind == KStr {
+			return typeErr(p, c)
+		}
+		if p.Kind == KInt {
+			switch p.Op {
+			case Eq:
+				v := int32(p.IVal)
+				for i, x := range col.V {
+					if x == v {
+						out.Set(i)
+					}
+				}
+				return nil
+			case Between:
+				lo, hi := int32(p.IVal), int32(p.IHi)
+				for i, x := range col.V {
+					if x >= lo && x <= hi {
+						out.Set(i)
+					}
+				}
+				return nil
+			}
+		}
+	case *storage.Int64Col:
+		if p.Kind == KStr {
+			return typeErr(p, c)
+		}
+		if p.Kind == KInt {
+			switch p.Op {
+			case Eq:
+				for i, x := range col.V {
+					if x == p.IVal {
+						out.Set(i)
+					}
+				}
+				return nil
+			case Between:
+				for i, x := range col.V {
+					if x >= p.IVal && x <= p.IHi {
+						out.Set(i)
+					}
+				}
+				return nil
+			}
+		}
+	case *storage.DictCol:
+		mask, err := p.DictMask(col.Dict)
+		if err != nil {
+			return err
+		}
+		for i, code := range col.Codes {
+			if mask[code] {
+				out.Set(i)
+			}
+		}
+		return nil
+	}
+
+	m, err := p.Matcher(c)
+	if err != nil {
+		return err
+	}
+	n := c.Len()
+	for i := 0; i < n; i++ {
+		if m(int32(i)) {
+			out.Set(i)
+		}
+	}
+	return nil
+}
+
+// FilterSel refines selection vector sel in place, keeping the rows of
+// column c that satisfy the predicate, and returns the shortened vector.
+// This is the vector-based column-wise scan primitive of §4.1: a tuple that
+// fails one predicate is removed immediately and never evaluated again.
+//
+// Scan loops that evaluate the same predicate repeatedly (batches, spans)
+// should compile it once with Filterer instead.
+func (p Pred) FilterSel(c storage.Column, sel []int32) ([]int32, error) {
+	f, err := p.Filterer(c)
+	if err != nil {
+		return nil, err
+	}
+	return f(sel), nil
+}
+
+// Filterer compiles the predicate against column c into a reusable
+// selection-vector refinement function, hoisting per-predicate setup —
+// dictionary masks, operand conversions, evaluator dispatch — out of the
+// scan loop. The returned function compacts sel in place and returns the
+// shortened vector.
+func (p Pred) Filterer(c storage.Column) (func(sel []int32) []int32, error) {
+	// Fast paths for the most common scan shapes.
+	switch col := c.(type) {
+	case *storage.Int32Col:
+		if p.Kind == KInt {
+			v := col.V
+			switch p.Op {
+			case Eq:
+				w := int32(p.IVal)
+				return func(sel []int32) []int32 {
+					out := sel[:0]
+					for _, r := range sel {
+						if v[r] == w {
+							out = append(out, r)
+						}
+					}
+					return out
+				}, nil
+			case Between:
+				lo, hi := int32(p.IVal), int32(p.IHi)
+				return func(sel []int32) []int32 {
+					out := sel[:0]
+					for _, r := range sel {
+						if x := v[r]; x >= lo && x <= hi {
+							out = append(out, r)
+						}
+					}
+					return out
+				}, nil
+			case Lt:
+				w := int32(p.IVal)
+				return func(sel []int32) []int32 {
+					out := sel[:0]
+					for _, r := range sel {
+						if v[r] < w {
+							out = append(out, r)
+						}
+					}
+					return out
+				}, nil
+			}
+		}
+	case *storage.Int64Col:
+		if p.Kind == KInt {
+			v := col.V
+			switch p.Op {
+			case Eq:
+				w := p.IVal
+				return func(sel []int32) []int32 {
+					out := sel[:0]
+					for _, r := range sel {
+						if v[r] == w {
+							out = append(out, r)
+						}
+					}
+					return out
+				}, nil
+			case Between:
+				lo, hi := p.IVal, p.IHi
+				return func(sel []int32) []int32 {
+					out := sel[:0]
+					for _, r := range sel {
+						if x := v[r]; x >= lo && x <= hi {
+							out = append(out, r)
+						}
+					}
+					return out
+				}, nil
+			case Lt:
+				w := p.IVal
+				return func(sel []int32) []int32 {
+					out := sel[:0]
+					for _, r := range sel {
+						if v[r] < w {
+							out = append(out, r)
+						}
+					}
+					return out
+				}, nil
+			}
+		}
+	case *storage.DictCol:
+		if p.Kind == KStr {
+			mask, err := p.DictMask(col.Dict)
+			if err != nil {
+				return nil, err
+			}
+			codes := col.Codes
+			return func(sel []int32) []int32 {
+				out := sel[:0]
+				for _, r := range sel {
+					if mask[codes[r]] {
+						out = append(out, r)
+					}
+				}
+				return out
+			}, nil
+		}
+	}
+
+	m, err := p.Matcher(c)
+	if err != nil {
+		return nil, err
+	}
+	return func(sel []int32) []int32 {
+		out := sel[:0]
+		for _, r := range sel {
+			if m(r) {
+				out = append(out, r)
+			}
+		}
+		return out
+	}, nil
+}
+
+// FilterSelVia refines selection vector sel of *root* rows by testing the
+// predicate against column c of a leaf table, where leafRow maps a root row
+// to the leaf row through the AIR reference path. It is used by scan
+// variants that probe dimension columns directly instead of using predicate
+// vectors.
+func (p Pred) FilterSelVia(c storage.Column, leafRow func(int32) int32, sel []int32) ([]int32, error) {
+	m, err := p.Matcher(c)
+	if err != nil {
+		return nil, err
+	}
+	out := sel[:0]
+	for _, r := range sel {
+		if m(leafRow(r)) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// EstimatedSel returns the predicate's selectivity estimate, defaulting to
+// 0.5 when unknown. The engine evaluates the most selective predicates
+// first to maximize selection-vector shrinkage (§4.1).
+func (p Pred) EstimatedSel() float64 {
+	if p.Sel > 0 {
+		return p.Sel
+	}
+	return 0.5
+}

@@ -1,0 +1,133 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"astore/internal/storage"
+)
+
+func constResolver(vals map[string]float64) func(string) (func(int32) float64, error) {
+	return func(name string) (func(int32) float64, error) {
+		v := vals[name]
+		return func(int32) float64 { return v }, nil
+	}
+}
+
+func TestCompileArithmetic(t *testing.T) {
+	res := constResolver(map[string]float64{"a": 6, "b": 3})
+	cases := []struct {
+		e    NumExpr
+		want float64
+	}{
+		{C("a"), 6},
+		{K(2.5), 2.5},
+		{Add(C("a"), C("b")), 9},
+		{Subtract(C("a"), C("b")), 3},
+		{Mul(C("a"), C("b")), 18},
+		{Div(C("a"), C("b")), 2},
+		{Mul(C("a"), Subtract(K(1), K(0.5))), 3},
+	}
+	for _, tc := range cases {
+		f, err := Compile(tc.e, res)
+		if err != nil {
+			t.Fatalf("%s: %v", ExprString(tc.e), err)
+		}
+		if got := f(0); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s = %g, want %g", ExprString(tc.e), got, tc.want)
+		}
+	}
+}
+
+func TestCompileBadOperator(t *testing.T) {
+	if _, err := Compile(Bin{Op: '%', L: K(1), R: K(2)}, constResolver(nil)); err == nil {
+		t.Fatal("unknown operator accepted")
+	}
+}
+
+func TestCols(t *testing.T) {
+	e := Mul(C("a"), Subtract(K(1), C("b")))
+	got := Cols(e)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Cols = %v", got)
+	}
+	// Duplicates collapse.
+	e2 := Add(C("a"), C("a"))
+	if got := Cols(e2); len(got) != 1 {
+		t.Fatalf("Cols dup = %v", got)
+	}
+	if got := Cols(K(1)); len(got) != 0 {
+		t.Fatalf("Cols const = %v", got)
+	}
+}
+
+func TestRecognize(t *testing.T) {
+	cases := []struct {
+		e    NumExpr
+		form Form
+		a, b string
+	}{
+		{C("x"), FCol, "x", ""},
+		{Mul(C("x"), C("y")), FMulCols, "x", "y"},
+		{Subtract(C("x"), C("y")), FSubCols, "x", "y"},
+		{Mul(C("x"), Subtract(K(1), C("y"))), FMulOneMinus, "x", "y"},
+		{Add(C("x"), C("y")), FGeneric, "", ""},
+		{Mul(K(2), C("y")), FGeneric, "", ""},
+		{Mul(C("x"), Subtract(K(2), C("y"))), FGeneric, "", ""},
+		{Subtract(K(1), C("y")), FGeneric, "", ""},
+	}
+	for _, tc := range cases {
+		got := Recognize(tc.e)
+		if got.Form != tc.form || got.A != tc.a || got.B != tc.b {
+			t.Errorf("Recognize(%s) = %+v, want form=%d a=%q b=%q",
+				ExprString(tc.e), got, tc.form, tc.a, tc.b)
+		}
+	}
+}
+
+func TestColAccessor(t *testing.T) {
+	for _, c := range []storage.Column{
+		storage.NewInt32Col([]int32{5}),
+		storage.NewInt64Col([]int64{5}),
+		storage.NewFloat64Col([]float64{5}),
+	} {
+		f, err := ColAccessor(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f(0) != 5 {
+			t.Errorf("accessor on %s = %g", c.Type(), f(0))
+		}
+	}
+	if _, err := ColAccessor(storage.NewStrCol([]string{"x"})); err == nil {
+		t.Fatal("accessor on string column accepted")
+	}
+}
+
+func TestAggregateConstructors(t *testing.T) {
+	cases := []struct {
+		a    Aggregate
+		kind AggKind
+		name string
+	}{
+		{SumOf(C("x"), "s"), Sum, "sum"},
+		{CountStar("c"), Count, "count"},
+		{MinOf(C("x"), "m"), Min, "min"},
+		{MaxOf(C("x"), "m"), Max, "max"},
+		{AvgOf(C("x"), "a"), Avg, "avg"},
+	}
+	for _, tc := range cases {
+		if tc.a.Kind != tc.kind {
+			t.Errorf("kind = %v, want %v", tc.a.Kind, tc.kind)
+		}
+		if tc.a.Kind.String() != tc.name {
+			t.Errorf("String = %q, want %q", tc.a.Kind.String(), tc.name)
+		}
+	}
+	if CountStar("c").Expr != nil {
+		t.Error("CountStar has an expression")
+	}
+	if ExprString(Mul(C("a"), C("b"))) != "(a * b)" {
+		t.Errorf("ExprString = %q", ExprString(Mul(C("a"), C("b"))))
+	}
+}

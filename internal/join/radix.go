@@ -1,0 +1,237 @@
+package join
+
+import "sync"
+
+// radixPassBits bounds the fanout of one partitioning pass. Scattering into
+// more than ~256 destinations thrashes the TLB (each open partition keeps a
+// hot page), which is exactly why the PRO algorithm partitions in multiple
+// passes; 8 bits per pass follows Balkesen et al.
+const radixPassBits = 8
+
+// PRO performs a parallel radix-partitioning hash join. Both inputs are
+// partitioned on the low bits of the key hash — in one or two passes of at
+// most 2^radixPassBits fanout each — so that each build fragment fits in
+// cache; each partition is then joined with a private open-addressing
+// table. Partitioning costs extra passes over both inputs, which is why NPO
+// wins on small dimensions while PRO wins once the shared table spills out
+// of cache.
+func PRO(dimKeys []int32, payload []int64, fk []int32, workers int) (count, sum int64) {
+	bits := radixBits(len(dimKeys))
+	nPart := 1 << bits
+
+	build := partition(dimKeys, true, bits)
+	probe := partition(fk, false, bits)
+
+	// Size the per-worker scratch table to the largest build fragment so it
+	// is allocated once and reused across partitions (cleared by epoch
+	// stamping, not by rewriting the arrays).
+	maxBuild := 0
+	for p := 0; p < nPart; p++ {
+		if n := int(build.off[p+1] - build.off[p]); n > maxBuild {
+			maxBuild = n
+		}
+	}
+
+	var c, s int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	if workers < 1 {
+		workers = 1
+	}
+	partCh := make(chan int, nPart)
+	for p := 0; p < nPart; p++ {
+		partCh <- p
+	}
+	close(partCh)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := newPartScratch(maxBuild)
+			var lc, ls int64
+			for p := range partCh {
+				bk := build.keys[build.off[p]:build.off[p+1]]
+				bp := build.pos[build.off[p]:build.off[p+1]]
+				pk := probe.keys[probe.off[p]:probe.off[p+1]]
+				if len(bk) == 0 || len(pk) == 0 {
+					continue
+				}
+				pc, ps := scratch.join(bk, bp, payload, pk, uint(bits))
+				lc += pc
+				ls += ps
+			}
+			mu.Lock()
+			c += lc
+			s += ls
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return c, s
+}
+
+// radixBits picks the total partition fanout so that an average build
+// fragment (keys + positions + table slack) stays around a couple thousand
+// entries — comfortably inside an L2-sized cache. Capped at two passes of
+// radixPassBits.
+func radixBits(nBuild int) int {
+	bits := 0
+	for (nBuild >> bits) > 2048 {
+		bits++
+	}
+	if bits > 2*radixPassBits {
+		bits = 2 * radixPassBits
+	}
+	return bits
+}
+
+// partitioned holds radix-partitioned keys (and, for the build side, their
+// original positions) with the partition offset table.
+type partitioned struct {
+	keys []int32
+	pos  []int32 // nil for the probe side
+	off  []int64 // len nPart+1
+}
+
+// partition scatters keys into 2^bits hash partitions, carrying original
+// positions when withPos is set. When bits exceeds radixPassBits the
+// scatter runs as two TLB-friendly passes: first on the high bit group,
+// then within each first-pass chunk on the low bit group, so the final
+// layout is ordered by the full partition index hash & (2^bits - 1).
+func partition(keys []int32, withPos bool, bits int) partitioned {
+	n := len(keys)
+	out := partitioned{keys: make([]int32, n), off: make([]int64, (1<<bits)+1)}
+	var outPos []int32
+	var srcPos []int32
+	if withPos {
+		outPos = make([]int32, n)
+		srcPos = make([]int32, n)
+		for i := range srcPos {
+			srcPos[i] = int32(i)
+		}
+	}
+
+	if bits <= radixPassBits {
+		scatterPass(keys, srcPos, out.keys, outPos, 0, bits, 0, out.off)
+		out.pos = outPos
+		return out
+	}
+
+	// Pass 1: high bit group into 2^b1 chunks.
+	b2 := radixPassBits
+	b1 := bits - b2
+	tmpK := make([]int32, n)
+	var tmpP []int32
+	if withPos {
+		tmpP = make([]int32, n)
+	}
+	off1 := make([]int64, (1<<b1)+1)
+	scatterPass(keys, srcPos, tmpK, tmpP, uint(b2), b1, 0, off1)
+
+	// Pass 2: low bit group within each chunk; global partition id is
+	// (high << b2) | low, so chunk c's sub-offsets land at out.off[c<<b2 ..].
+	for chunk := 0; chunk < 1<<b1; chunk++ {
+		lo, hi := off1[chunk], off1[chunk+1]
+		sub := out.off[chunk<<b2 : (chunk<<b2)+(1<<b2)+1]
+		var subPosIn, subPosOut []int32
+		if withPos {
+			subPosIn = tmpP[lo:hi]
+			subPosOut = outPos[lo:hi]
+		}
+		scatterPass(tmpK[lo:hi], subPosIn, out.keys[lo:hi], subPosOut, 0, b2, lo, sub)
+	}
+	out.pos = outPos
+	return out
+}
+
+// scatterPass distributes src into dst by hash bits [shift, shift+bits),
+// writing the (base-offset) partition boundaries into off (len 2^bits + 1).
+// srcPos/dstPos ride along when non-nil.
+func scatterPass(src, srcPos, dst, dstPos []int32, shift uint, bits int, base int64, off []int64) {
+	nPart := 1 << bits
+	mask := uint32(nPart - 1)
+	var hist [1 << radixPassBits]int64
+	for _, k := range src {
+		hist[(hashKey(k)>>shift)&mask]++
+	}
+	run := base
+	for p := 0; p < nPart; p++ {
+		off[p] = run
+		run += hist[p]
+	}
+	off[nPart] = run
+	var cursor [1 << radixPassBits]int64
+	for p := 0; p < nPart; p++ {
+		cursor[p] = off[p] - base
+	}
+	if srcPos != nil {
+		for i, k := range src {
+			p := (hashKey(k) >> shift) & mask
+			c := cursor[p]
+			dst[c] = k
+			dstPos[c] = srcPos[i]
+			cursor[p] = c + 1
+		}
+		return
+	}
+	for _, k := range src {
+		p := (hashKey(k) >> shift) & mask
+		c := cursor[p]
+		dst[c] = k
+		cursor[p] = c + 1
+	}
+}
+
+// partScratch is a reusable linear-probing table for per-partition joins.
+// Occupancy is tracked by an epoch stamp so that reusing the table for the
+// next partition costs O(1) instead of clearing the arrays.
+type partScratch struct {
+	slotKey []int32
+	slotPos []int32
+	stamp   []uint32
+	epoch   uint32
+}
+
+func newPartScratch(maxBuild int) *partScratch {
+	n := nextPow2(maxBuild * 2)
+	return &partScratch{
+		slotKey: make([]int32, n),
+		slotPos: make([]int32, n),
+		stamp:   make([]uint32, n),
+	}
+}
+
+// join joins one cache-sized partition. All keys of the partition share the
+// low `shift` hash bits (they selected the partition), so the table indexes
+// on the bits above them — hashing on the same low bits would send every
+// key of the partition to one slot and degrade to a linear scan.
+func (t *partScratch) join(bKeys, bPos []int32, payload []int64, pKeys []int32, shift uint) (count, sum int64) {
+	n := nextPow2(len(bKeys) * 2)
+	if n > len(t.slotKey) {
+		n = len(t.slotKey)
+	}
+	mask := uint32(n - 1)
+	t.epoch++
+	epoch := t.epoch
+	for i, k := range bKeys {
+		h := (hashKey(k) >> shift) & mask
+		for t.stamp[h] == epoch {
+			h = (h + 1) & mask
+		}
+		t.stamp[h] = epoch
+		t.slotKey[h] = k
+		t.slotPos[h] = bPos[i]
+	}
+	for _, k := range pKeys {
+		h := (hashKey(k) >> shift) & mask
+		for t.stamp[h] == epoch {
+			if t.slotKey[h] == k {
+				count++
+				sum += payload[t.slotPos[h]]
+				break
+			}
+			h = (h + 1) & mask
+		}
+	}
+	return count, sum
+}

@@ -1,0 +1,77 @@
+package join
+
+// SortMerge performs a sort-merge join: both inputs are sorted by key with
+// an LSD radix sort (the cache-friendly main-memory variant), then merged.
+// Dimension keys are unique; fact keys may repeat arbitrarily.
+func SortMerge(dimKeys []int32, payload []int64, fk []int32, workers int) (count, sum int64) {
+	// Pack (key, position) into uint64 so one radix sort carries positions
+	// along; keys are compared as unsigned after a sign-bias flip so
+	// negative keys order correctly.
+	build := make([]uint64, len(dimKeys))
+	for i, k := range dimKeys {
+		build[i] = uint64(biased(k))<<32 | uint64(uint32(i))
+	}
+	probe := make([]uint64, len(fk))
+	for i, k := range fk {
+		probe[i] = uint64(biased(k)) << 32
+	}
+	radixSort64by32(build)
+	radixSort64by32(probe)
+
+	bi, pi := 0, 0
+	for bi < len(build) && pi < len(probe) {
+		bk := uint32(build[bi] >> 32)
+		pk := uint32(probe[pi] >> 32)
+		switch {
+		case bk < pk:
+			bi++
+		case bk > pk:
+			pi++
+		default:
+			pos := int32(uint32(build[bi]))
+			pay := payload[pos]
+			for pi < len(probe) && uint32(probe[pi]>>32) == bk {
+				count++
+				sum += pay
+				pi++
+			}
+			bi++
+		}
+	}
+	_ = workers // the merge is sequential; sorting dominates and is O(n)
+	return count, sum
+}
+
+// biased maps an int32 to a uint32 preserving order.
+func biased(k int32) uint32 { return uint32(k) ^ 0x80000000 }
+
+// radixSort64by32 sorts a []uint64 by its upper 32 bits using a 4-pass LSD
+// radix sort over bytes 4..7 (the low 32 bits ride along, keeping the sort
+// stable with respect to input order).
+func radixSort64by32(a []uint64) {
+	if len(a) < 2 {
+		return
+	}
+	buf := make([]uint64, len(a))
+	src, dst := a, buf
+	for pass := 0; pass < 4; pass++ {
+		shift := uint(32 + 8*pass)
+		var hist [256]int
+		for _, v := range src {
+			hist[(v>>shift)&0xff]++
+		}
+		sumv := 0
+		for b := 0; b < 256; b++ {
+			c := hist[b]
+			hist[b] = sumv
+			sumv += c
+		}
+		for _, v := range src {
+			b := (v >> shift) & 0xff
+			dst[hist[b]] = v
+			hist[b]++
+		}
+		src, dst = dst, src
+	}
+	// After an even number of passes the data is back in a.
+}

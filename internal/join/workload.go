@@ -1,0 +1,46 @@
+package join
+
+import "math/rand"
+
+// Input is a synthetic FK-PK join workload over one dimension and one fact
+// relation, carrying both representations of the foreign key:
+//
+//   - FK holds key *values*, as a value-based join (NPO/PRO/sort-merge)
+//     sees them;
+//   - FKPos holds dimension array *indexes*, as A-Store stores them (AIR).
+//
+// Both describe the same logical join, so every kernel must produce the
+// same count and payload sum.
+type Input struct {
+	DimKeys []int32
+	Payload []int64
+	FK      []int32
+	FKPos   []int32
+}
+
+// MakeInput generates a uniform workload: nDim unique, shuffled,
+// non-contiguous dimension keys and nFact foreign keys drawn uniformly.
+// The workloads of Table 2 (including workloads A and B of Balkesen et al.)
+// are instances of this shape at different nDim:nFact ratios.
+func MakeInput(nDim, nFact int, seed int64) Input {
+	rng := rand.New(rand.NewSource(seed))
+	in := Input{
+		DimKeys: make([]int32, nDim),
+		Payload: make([]int64, nDim),
+		FK:      make([]int32, nFact),
+		FKPos:   make([]int32, nFact),
+	}
+	// Non-contiguous key values (stride 3 with offset) in shuffled order,
+	// so value-based kernels cannot exploit positional structure.
+	perm := rng.Perm(nDim)
+	for i, p := range perm {
+		in.DimKeys[i] = int32(p)*3 + 11
+		in.Payload[i] = int64(rng.Intn(1000))
+	}
+	for i := range in.FK {
+		pos := int32(rng.Intn(nDim))
+		in.FKPos[i] = pos
+		in.FK[i] = in.DimKeys[pos]
+	}
+	return in
+}

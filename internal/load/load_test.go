@@ -1,0 +1,214 @@
+package load
+
+import (
+	"strings"
+	"testing"
+
+	"astore/internal/core"
+	"astore/internal/expr"
+	"astore/internal/query"
+	"astore/internal/storage"
+)
+
+const regionCSV = `r1,ASIA
+r2,EUROPE
+r3,AMERICA
+`
+
+// Customers carry natural keys out of order and reference regions by
+// natural key.
+const customerCSV = `c30,alice,r2,100
+c10,bob,r1,250
+c20,carol,r1,50
+`
+
+const salesCSV = `c10,5,1.5
+c30,7,0.25
+c10,2,3.0
+c20,1,10.0
+`
+
+func loadStar(t *testing.T) (*storage.Database, *storage.Table) {
+	t.Helper()
+	db := storage.NewDatabase()
+	ld := NewLoader(db)
+
+	if _, err := ld.LoadCSV(strings.NewReader(regionCSV), "region", []ColumnSpec{
+		{Name: "r_key", Kind: Key},
+		{Name: "r_name", Kind: Dict},
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.LoadCSV(strings.NewReader(customerCSV), "customer", []ColumnSpec{
+		{Name: "c_key", Kind: Key},
+		{Name: "c_name", Kind: String},
+		{Name: "c_rk", Kind: FK, Ref: "region"},
+		{Name: "c_balance", Kind: Int64},
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+	fact, err := ld.LoadCSV(strings.NewReader(salesCSV), "sales", []ColumnSpec{
+		{Name: "s_ck", Kind: FK, Ref: "customer"},
+		{Name: "s_units", Kind: Int32},
+		{Name: "s_price", Kind: Float64},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, fact
+}
+
+func TestLoadCSVStarSchema(t *testing.T) {
+	db, fact := loadStar(t)
+	if err := db.ValidateAIR(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Natural keys were dropped: customer has name, fk, balance only.
+	cust := db.Table("customer")
+	if got := len(cust.ColumnNames()); got != 3 {
+		t.Fatalf("customer columns = %d (%v)", got, cust.ColumnNames())
+	}
+	// Natural FKs became array indexes: sales row 0 references "c10",
+	// which is customer row 1 (second CSV line).
+	fk := fact.Column("s_ck").(*storage.Int32Col)
+	want := []int32{1, 0, 1, 2}
+	for i, w := range want {
+		if fk.V[i] != w {
+			t.Fatalf("fk[%d] = %d, want %d", i, fk.V[i], w)
+		}
+	}
+
+	// The loaded snowflake answers queries end to end.
+	eng, err := core.New(fact, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(query.New("q").
+		Where(expr.StrEq("r_name", "ASIA")).
+		GroupByCols("c_name").
+		Agg(expr.SumOf(expr.Mul(expr.C("s_units"), expr.C("s_price")), "total")).
+		OrderAsc("c_name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if res.Rows[0].Keys[0].Str != "bob" || res.Rows[0].Aggs[0] != 5*1.5+2*3.0 {
+		t.Errorf("bob = %+v", res.Rows[0])
+	}
+	if res.Rows[1].Keys[0].Str != "carol" || res.Rows[1].Aggs[0] != 10.0 {
+		t.Errorf("carol = %+v", res.Rows[1])
+	}
+
+	// Key registry is exposed.
+	if ld := NewLoader(storage.NewDatabase()); ld.Keys("nope") != nil {
+		t.Error("Keys of unknown table non-nil")
+	}
+}
+
+func TestLoadCSVHeaderAndSkip(t *testing.T) {
+	db := storage.NewDatabase()
+	ld := NewLoader(db)
+	csvData := "id,junk,v\nk1,x,10\nk2,y,20\n"
+	tab, err := ld.LoadCSV(strings.NewReader(csvData), "t", []ColumnSpec{
+		{Name: "id", Kind: Key},
+		{Kind: Skip},
+		{Name: "v", Kind: Int64},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 || len(tab.ColumnNames()) != 1 {
+		t.Fatalf("rows=%d cols=%v", tab.NumRows(), tab.ColumnNames())
+	}
+	if ld.Keys("t")["k2"] != 1 {
+		t.Fatalf("key registry = %v", ld.Keys("t"))
+	}
+}
+
+func TestLoadCSVSharedDict(t *testing.T) {
+	db := storage.NewDatabase()
+	ld := NewLoader(db)
+	shared := storage.NewDict()
+	a, err := ld.LoadCSV(strings.NewReader("x\ny\n"), "a", []ColumnSpec{
+		{Name: "a_tag", Kind: Dict, SharedDict: shared},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ld.LoadCSV(strings.NewReader("y\nz\n"), "b", []ColumnSpec{
+		{Name: "b_tag", Kind: Dict, SharedDict: shared},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Column("a_tag").(*storage.DictCol).Dict != b.Column("b_tag").(*storage.DictCol).Dict {
+		t.Fatal("dictionary not shared")
+	}
+	if shared.Len() != 3 {
+		t.Fatalf("shared dict size = %d", shared.Len())
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	mk := func() *Loader { return NewLoader(storage.NewDatabase()) }
+	cases := []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"bad-int", func() error {
+			_, err := mk().LoadCSV(strings.NewReader("abc\n"), "t",
+				[]ColumnSpec{{Name: "v", Kind: Int64}}, false)
+			return err
+		}, "invalid syntax"},
+		{"bad-float", func() error {
+			_, err := mk().LoadCSV(strings.NewReader("abc\n"), "t",
+				[]ColumnSpec{{Name: "v", Kind: Float64}}, false)
+			return err
+		}, "invalid syntax"},
+		{"unknown-ref", func() error {
+			_, err := mk().LoadCSV(strings.NewReader("k1\n"), "t",
+				[]ColumnSpec{{Name: "fk", Kind: FK, Ref: "ghost"}}, false)
+			return err
+		}, "no loaded Key"},
+		{"missing-key", func() error {
+			ld := mk()
+			if _, err := ld.LoadCSV(strings.NewReader("k1\n"), "d",
+				[]ColumnSpec{{Name: "id", Kind: Key}}, false); err != nil {
+				return err
+			}
+			_, err := ld.LoadCSV(strings.NewReader("k9\n"), "t",
+				[]ColumnSpec{{Name: "fk", Kind: FK, Ref: "d"}}, false)
+			return err
+		}, "not found"},
+		{"dup-key", func() error {
+			_, err := mk().LoadCSV(strings.NewReader("k1\nk1\n"), "t",
+				[]ColumnSpec{{Name: "id", Kind: Key}}, false)
+			return err
+		}, "duplicate key"},
+		{"two-keys", func() error {
+			_, err := mk().LoadCSV(strings.NewReader("a,b\n"), "t",
+				[]ColumnSpec{{Name: "x", Kind: Key}, {Name: "y", Kind: Key}}, false)
+			return err
+		}, "multiple Key"},
+		{"ragged", func() error {
+			_, err := mk().LoadCSV(strings.NewReader("a,b\nc\n"), "t",
+				[]ColumnSpec{{Name: "x", Kind: String}, {Name: "y", Kind: String}}, false)
+			return err
+		}, "wrong number of fields"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+// Package query defines the SPJGA query representation shared by the
+// A-Store engine and the baseline engines, together with the result-set
+// type, ordering, and comparison utilities used for differential testing.
+//
+// A SPJGA (selection-projection-join-grouping-aggregation) query never names
+// its joins: the join structure is implied by the schema's array index
+// references, so a query is just predicates, grouping columns, aggregates,
+// and an ordering over the virtual universal table (§3 of the paper).
+package query
+
+import (
+	"fmt"
+
+	"astore/internal/expr"
+)
+
+// Query is a SPJGA query over a universal table.
+type Query struct {
+	// Name labels the query in reports (for example "Q3.1").
+	Name string
+	// Preds are conjunctive selection predicates; each references one
+	// column anywhere in the schema.
+	Preds []expr.Pred
+	// GroupBy lists grouping columns (possibly empty for a global
+	// aggregate). Names resolve against the universal table.
+	GroupBy []string
+	// Aggs lists the aggregates to compute (at least one).
+	Aggs []expr.Aggregate
+	// OrderBy sorts the result; names refer to grouping columns or
+	// aggregate result names.
+	OrderBy []OrderKey
+	// Limit truncates the result when positive.
+	Limit int
+}
+
+// OrderKey is one ORDER BY component.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// New returns a named query under construction.
+func New(name string) *Query { return &Query{Name: name} }
+
+// Where appends predicates.
+func (q *Query) Where(p ...expr.Pred) *Query {
+	q.Preds = append(q.Preds, p...)
+	return q
+}
+
+// GroupByCols appends grouping columns.
+func (q *Query) GroupByCols(cols ...string) *Query {
+	q.GroupBy = append(q.GroupBy, cols...)
+	return q
+}
+
+// Agg appends aggregates.
+func (q *Query) Agg(a ...expr.Aggregate) *Query {
+	q.Aggs = append(q.Aggs, a...)
+	return q
+}
+
+// OrderAsc appends an ascending ORDER BY key.
+func (q *Query) OrderAsc(col string) *Query {
+	q.OrderBy = append(q.OrderBy, OrderKey{Col: col})
+	return q
+}
+
+// OrderDesc appends a descending ORDER BY key.
+func (q *Query) OrderDesc(col string) *Query {
+	q.OrderBy = append(q.OrderBy, OrderKey{Col: col, Desc: true})
+	return q
+}
+
+// WithLimit sets the row limit.
+func (q *Query) WithLimit(n int) *Query {
+	q.Limit = n
+	return q
+}
+
+// Validate performs shape checks that do not need a schema.
+func (q *Query) Validate() error {
+	if len(q.Aggs) == 0 {
+		return fmt.Errorf("query %s: no aggregates", q.Name)
+	}
+	seen := make(map[string]bool)
+	for _, a := range q.Aggs {
+		if a.As == "" {
+			return fmt.Errorf("query %s: aggregate without a name", q.Name)
+		}
+		if seen[a.As] {
+			return fmt.Errorf("query %s: duplicate aggregate name %q", q.Name, a.As)
+		}
+		seen[a.As] = true
+		if a.Expr == nil && a.Kind != expr.Count {
+			return fmt.Errorf("query %s: %s aggregate %q without an expression", q.Name, a.Kind, a.As)
+		}
+	}
+	for _, g := range q.GroupBy {
+		if seen[g] {
+			return fmt.Errorf("query %s: name %q used for both group column and aggregate", q.Name, g)
+		}
+	}
+	for _, o := range q.OrderBy {
+		ok := seen[o.Col]
+		for _, g := range q.GroupBy {
+			if g == o.Col {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("query %s: ORDER BY %q is neither a group column nor an aggregate", q.Name, o.Col)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package schema
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"astore/internal/storage"
+)
+
+// TestRandomTreeSchemasQuick builds random tree-shaped schemas and checks
+// the structural invariants of the join graph: every table reachable, depth
+// equals path length, paths are well-chained, and every column resolves to
+// its owning table with a working row accessor.
+func TestRandomTreeSchemasQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTables := rng.Intn(8) + 2
+
+		// Build tables leaf-first; table i may reference any table j > i
+		// (guaranteeing a DAG that is a tree by construction: one parent
+		// each). Table 0 is the root.
+		tables := make([]*storage.Table, nTables)
+		parent := make([]int, nTables)
+		for i := nTables - 1; i >= 0; i-- {
+			tb := storage.NewTable(fmt.Sprintf("t%d", i))
+			rows := rng.Intn(20) + 1
+			v := make([]int64, rows)
+			for r := range v {
+				v[r] = rng.Int63n(100)
+			}
+			tb.MustAddColumn(fmt.Sprintf("t%d_v", i), storage.NewInt64Col(v))
+			tables[i] = tb
+			parent[i] = -1
+		}
+		for i := 1; i < nTables; i++ {
+			// Choose this table's single referrer among tables with a
+			// smaller index (closer to the root).
+			p := rng.Intn(i)
+			parent[i] = p
+			ref := tables[i]
+			fk := make([]int32, tables[p].NumRows())
+			for r := range fk {
+				fk[r] = int32(rng.Intn(ref.NumRows()))
+			}
+			col := fmt.Sprintf("t%d_fk%d", p, i)
+			tables[p].MustAddColumn(col, storage.NewInt32Col(fk))
+			tables[p].MustAddFK(col, ref)
+		}
+
+		g, err := Build(tables[0])
+		if err != nil {
+			return false
+		}
+		if len(g.Tables()) != nTables {
+			return false
+		}
+		for i, tb := range tables {
+			path, ok := g.PathTo(tb)
+			if !ok || g.Depth(tb) != len(path) {
+				return false
+			}
+			// Path chains: each step's To is the next step's From; the
+			// last step lands on tb.
+			for s := 0; s < len(path); s++ {
+				if s+1 < len(path) && path[s].To != path[s+1].From {
+					return false
+				}
+			}
+			if len(path) > 0 && (path[0].From != tables[0] || path[len(path)-1].To != tb) {
+				return false
+			}
+			// Depth is parent depth + 1.
+			if i > 0 && g.Depth(tb) != g.Depth(tables[parent[i]])+1 {
+				return false
+			}
+			// The value column resolves and its accessor lands in range.
+			b, err := g.Resolve(fmt.Sprintf("t%d_v", i))
+			if err != nil || b.Table != tb {
+				return false
+			}
+			acc := b.RowAccessor()
+			for r := 0; r < tables[0].NumRows(); r++ {
+				lr := acc(int32(r))
+				if lr < 0 || int(lr) >= tb.NumRows() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

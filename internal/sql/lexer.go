@@ -1,0 +1,160 @@
+// Package sql parses the SPJGA subset of SQL that A-Store executes —
+// SELECT lists with aggregates, implicit joins, conjunctive WHERE
+// predicates, GROUP BY, ORDER BY, LIMIT — into the engine's query model.
+//
+// Join predicates of the form fk = pk are recognized and dropped: in
+// A-Store the join structure lives in the storage model (array index
+// references), so the SQL query
+//
+//	SELECT c_nation, s_nation, d_year, sum(lo_revenue) AS revenue
+//	FROM customer, lineorder, supplier, date
+//	WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+//	  AND lo_orderdate = d_datekey
+//	  AND c_region = 'ASIA' AND s_region = 'ASIA'
+//	  AND d_year >= 1992 AND d_year <= 1997
+//	GROUP BY c_nation, s_nation, d_year
+//	ORDER BY d_year ASC, revenue DESC
+//
+// parses directly to the universal-table form the paper calls Q2 (§3): the
+// join conditions vanish and the remaining predicates, grouping, and
+// aggregation run as one scan.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+// token is one lexical unit.
+type token struct {
+	kind tokKind
+	text string // identifiers lowercased for keywords, raw otherwise
+	raw  string
+	pos  int
+}
+
+// lexer splits the input into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("(),*+-/=<>!.", rune(c)):
+			l.lexSymbol()
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' ||
+		l.src[l.pos] == '\n' || l.src[l.pos] == '\r' || l.src[l.pos] == ';') {
+		l.pos++
+	}
+}
+
+func isIdentStart(c rune) bool { return unicode.IsLetter(c) || c == '_' }
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '.'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	raw := l.src[start:l.pos]
+	l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(raw), raw: raw, pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	raw := l.src[start:l.pos]
+	l.toks = append(l.toks, token{kind: tokNumber, text: raw, raw: raw, pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), raw: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string starting at offset %d", start)
+}
+
+func (l *lexer) lexSymbol() {
+	start := l.pos
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+	default:
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokSymbol, text: l.src[start:l.pos], raw: l.src[start:l.pos], pos: start})
+}

@@ -1,0 +1,139 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"astore/internal/expr"
+	"astore/internal/query"
+)
+
+// Render converts a query back to its SQL text (the inverse of Parse, up to
+// whitespace and the implied join conditions, which A-Store never writes).
+// Rendering is used for logging/EXPLAIN output and closes the round-trip
+// property the parser tests rely on: Parse(Render(q)) executes identically
+// to q.
+func Render(q *query.Query) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	first := true
+	item := func(s string) {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		sb.WriteString(s)
+	}
+	for _, g := range q.GroupBy {
+		item(g)
+	}
+	for _, a := range q.Aggs {
+		if a.Expr == nil {
+			item(fmt.Sprintf("count(*) AS %s", a.As))
+		} else {
+			item(fmt.Sprintf("%s(%s) AS %s", a.Kind, renderExpr(a.Expr), a.As))
+		}
+	}
+	sb.WriteString(" FROM universal_table")
+
+	if len(q.Preds) > 0 {
+		sb.WriteString(" WHERE ")
+		for i, p := range q.Preds {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			sb.WriteString(renderPred(p))
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(q.GroupBy, ", "))
+	}
+	if len(q.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Col)
+			if o.Desc {
+				sb.WriteString(" DESC")
+			} else {
+				sb.WriteString(" ASC")
+			}
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	return sb.String()
+}
+
+// renderExpr renders a measure expression; expr.ExprString's parenthesized
+// form is already valid SQL arithmetic.
+func renderExpr(e expr.NumExpr) string { return expr.ExprString(e) }
+
+// renderPred renders one predicate as a SQL condition.
+func renderPred(p expr.Pred) string {
+	lit := func(i int) string {
+		switch p.Kind {
+		case expr.KStr:
+			switch i {
+			case 0:
+				return quoteStr(p.SVal)
+			default:
+				return quoteStr(p.SHi)
+			}
+		case expr.KFloat:
+			switch i {
+			case 0:
+				return formatFloat(p.FVal)
+			default:
+				return formatFloat(p.FHi)
+			}
+		default:
+			switch i {
+			case 0:
+				return fmt.Sprintf("%d", p.IVal)
+			default:
+				return fmt.Sprintf("%d", p.IHi)
+			}
+		}
+	}
+	switch p.Op {
+	case expr.Between:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", p.Col, lit(0), lit(1))
+	case expr.In:
+		var parts []string
+		if p.Kind == expr.KStr {
+			for _, s := range p.SList {
+				parts = append(parts, quoteStr(s))
+			}
+		} else {
+			for _, v := range p.IList {
+				parts = append(parts, fmt.Sprintf("%d", v))
+			}
+		}
+		return fmt.Sprintf("%s IN (%s)", p.Col, strings.Join(parts, ", "))
+	default:
+		return fmt.Sprintf("%s %s %s", p.Col, p.Op, lit(0))
+	}
+}
+
+func quoteStr(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// formatFloat renders a float literal so it re-parses as KFloat (always
+// with a decimal point).
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	// Exponent forms are not in the parser's number grammar; expand them.
+	if strings.ContainsAny(s, "eE") {
+		s = fmt.Sprintf("%f", v)
+	}
+	return s
+}

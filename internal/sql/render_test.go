@@ -1,0 +1,133 @@
+package sql
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"astore/internal/core"
+	"astore/internal/expr"
+	"astore/internal/query"
+	"astore/internal/testutil"
+)
+
+func TestRenderBasic(t *testing.T) {
+	q := query.New("q").
+		Where(
+			expr.StrEq("c_region", "ASIA"),
+			expr.IntBetween("d_year", 1992, 1997),
+			expr.StrIn("p_brand", "B#1", "B#2"),
+			expr.FloatLt("f_frac", 0.5),
+		).
+		GroupByCols("c_nation").
+		Agg(expr.SumOf(expr.Mul(expr.C("a"), expr.Subtract(expr.K(1), expr.C("b"))), "rev"),
+			expr.CountStar("n")).
+		OrderDesc("rev").WithLimit(5)
+	got := Render(q)
+	want := "SELECT c_nation, sum((a * (1 - b))) AS rev, count(*) AS n" +
+		" FROM universal_table" +
+		" WHERE c_region = 'ASIA' AND d_year BETWEEN 1992 AND 1997" +
+		" AND p_brand IN ('B#1', 'B#2') AND f_frac < 0.5" +
+		" GROUP BY c_nation ORDER BY rev DESC LIMIT 5"
+	if got != want {
+		t.Fatalf("Render:\n got %s\nwant %s", got, want)
+	}
+	if _, err := Parse(got); err != nil {
+		t.Fatalf("rendered SQL does not parse: %v", err)
+	}
+}
+
+func TestRenderQuotesStrings(t *testing.T) {
+	q := query.New("q").
+		Where(expr.StrEq("s", "it's")).
+		Agg(expr.CountStar("n"))
+	out := Render(q)
+	parsed, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Preds[0].SVal != "it's" {
+		t.Fatalf("quote round-trip broken: %q", parsed.Preds[0].SVal)
+	}
+}
+
+// TestRoundTripQuick is the render/parse property: a random query, rendered
+// to SQL and re-parsed, executes to exactly the same result.
+func TestRoundTripQuick(t *testing.T) {
+	fact := testutil.BuildStar(77, 1500)
+	eng, err := core.New(fact, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupCols := []string{"d_year", "c_region", "c_nation", "p_brand", "f_discount", "f_tag"}
+	regions := []string{"ASIA", "AMERICA", "EUROPE", "AFRICA", "MIDDLE EAST"}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := query.New("rt")
+		if rng.Intn(2) == 0 {
+			q.Where(expr.IntBetween("f_discount", int64(rng.Intn(5)), int64(5+rng.Intn(6))))
+		}
+		if rng.Intn(2) == 0 {
+			q.Where(expr.StrEq("c_region", regions[rng.Intn(len(regions))]))
+		}
+		if rng.Intn(3) == 0 {
+			q.Where(expr.StrIn("c_region", regions[rng.Intn(5)], regions[rng.Intn(5)]))
+		}
+		if rng.Intn(3) == 0 {
+			q.Where(expr.IntIn("d_year", 1993, 1995, 1997))
+		}
+		if rng.Intn(3) == 0 {
+			q.Where(expr.FloatBetween("f_frac", 0.1, 0.8))
+		}
+		ng := rng.Intn(3)
+		perm := rng.Perm(len(groupCols))
+		for i := 0; i < ng; i++ {
+			q.GroupByCols(groupCols[perm[i]])
+		}
+		q.Agg(expr.CountStar("n"))
+		switch rng.Intn(3) {
+		case 0:
+			q.Agg(expr.SumOf(expr.C("f_revenue"), "rev"))
+		case 1:
+			q.Agg(expr.AvgOf(expr.Subtract(expr.C("f_revenue"), expr.C("f_supplycost")), "m"))
+		case 2:
+			q.Agg(expr.MinOf(expr.C("f_extprice"), "lo"), expr.MaxOf(expr.C("f_extprice"), "hi"))
+		}
+		if ng > 0 && rng.Intn(2) == 0 {
+			q.OrderDesc("n")
+		}
+		if rng.Intn(3) == 0 {
+			q.WithLimit(rng.Intn(10) + 1)
+		}
+
+		rendered := Render(q)
+		parsed, err := Parse(rendered)
+		if err != nil {
+			t.Logf("seed %d: %s: %v", seed, rendered, err)
+			return false
+		}
+		want, err := eng.Run(q)
+		if err != nil {
+			return false
+		}
+		got, err := eng.Run(parsed)
+		if err != nil {
+			t.Logf("seed %d: run parsed: %v", seed, err)
+			return false
+		}
+		// LIMIT without total ORDER BY can pick different ties; compare row
+		// count only in that case.
+		if q.Limit > 0 {
+			return len(want.Rows) == len(got.Rows)
+		}
+		if err := query.Diff(want, got, 1e-9); err != nil {
+			t.Logf("seed %d: %s: %v", seed, rendered, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

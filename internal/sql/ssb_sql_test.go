@@ -1,0 +1,48 @@
+package sql
+
+import (
+	"testing"
+
+	"astore/internal/core"
+	"astore/internal/datagen/ssb"
+	"astore/internal/query"
+)
+
+// TestSSBSQLConformance parses all 13 SSB queries from their official SQL
+// text and checks that each returns exactly the result of its hand-built
+// counterpart on generated data — the parser's end-to-end conformance run.
+func TestSSBSQLConformance(t *testing.T) {
+	data := ssb.Generate(ssb.Config{SF: 0.01, Seed: 1})
+	eng, err := core.New(data.Lineorder, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlTexts := ssb.QueriesSQL()
+	if len(sqlTexts) != 13 {
+		t.Fatalf("SQL corpus has %d queries, want 13", len(sqlTexts))
+	}
+	for _, hand := range ssb.Queries() {
+		text, ok := sqlTexts[hand.Name]
+		if !ok {
+			t.Errorf("%s: no SQL text", hand.Name)
+			continue
+		}
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Errorf("%s: parse: %v", hand.Name, err)
+			continue
+		}
+		got, err := eng.Run(parsed)
+		if err != nil {
+			t.Errorf("%s: run parsed: %v", hand.Name, err)
+			continue
+		}
+		want, err := eng.Run(hand)
+		if err != nil {
+			t.Fatalf("%s: run hand-built: %v", hand.Name, err)
+		}
+		if err := query.Diff(want, got, 1e-9); err != nil {
+			t.Errorf("%s: parsed and hand-built disagree: %v", hand.Name, err)
+		}
+	}
+}

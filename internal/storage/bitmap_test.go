@@ -1,0 +1,238 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasic(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	if b.Count() != 0 {
+		t.Fatalf("new bitmap Count = %d, want 0", b.Count())
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(129)
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Get(i) {
+			t.Errorf("Get(%d) = false, want true", i)
+		}
+	}
+	for _, i := range []int{1, 62, 65, 128} {
+		if b.Get(i) {
+			t.Errorf("Get(%d) = true, want false", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	b.Clear(63)
+	if b.Get(63) || b.Count() != 3 {
+		t.Fatalf("after Clear(63): Get=%v Count=%d", b.Get(63), b.Count())
+	}
+}
+
+func TestBitmapSetAllRespectsLength(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 200} {
+		b := NewBitmap(n)
+		b.SetAll()
+		if b.Count() != n {
+			t.Errorf("n=%d: SetAll Count = %d, want %d", n, b.Count(), n)
+		}
+	}
+}
+
+func TestBitmapReset(t *testing.T) {
+	b := NewBitmap(100)
+	b.SetAll()
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatalf("after Reset Count = %d, want 0", b.Count())
+	}
+}
+
+func TestBitmapLogicOps(t *testing.T) {
+	n := 300
+	a := NewBitmap(n)
+	b := NewBitmap(n)
+	for i := 0; i < n; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < n; i += 3 {
+		b.Set(i)
+	}
+
+	and := a.Clone()
+	and.And(b)
+	or := a.Clone()
+	or.Or(b)
+	andNot := a.Clone()
+	andNot.AndNot(b)
+
+	for i := 0; i < n; i++ {
+		ai, bi := i%2 == 0, i%3 == 0
+		if and.Get(i) != (ai && bi) {
+			t.Fatalf("And bit %d = %v", i, and.Get(i))
+		}
+		if or.Get(i) != (ai || bi) {
+			t.Fatalf("Or bit %d = %v", i, or.Get(i))
+		}
+		if andNot.Get(i) != (ai && !bi) {
+			t.Fatalf("AndNot bit %d = %v", i, andNot.Get(i))
+		}
+	}
+}
+
+func TestBitmapLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched length did not panic")
+		}
+	}()
+	NewBitmap(10).And(NewBitmap(11))
+}
+
+func TestBitmapNextSet(t *testing.T) {
+	b := NewBitmap(200)
+	b.Set(5)
+	b.Set(64)
+	b.Set(199)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 199}, {199, 199}, {-3, 5},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := b.NextSet(200); got != -1 {
+		t.Errorf("NextSet(200) = %d, want -1", got)
+	}
+	empty := NewBitmap(100)
+	if got := empty.NextSet(0); got != -1 {
+		t.Errorf("empty NextSet(0) = %d, want -1", got)
+	}
+}
+
+func TestBitmapForEachSetAndAppendSet(t *testing.T) {
+	b := NewBitmap(150)
+	want := []int32{1, 63, 64, 100, 149}
+	for _, i := range want {
+		b.Set(int(i))
+	}
+	var got []int32
+	b.ForEachSet(func(i int) { got = append(got, int32(i)) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEachSet visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachSet[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	app := b.AppendSet(nil)
+	for i := range want {
+		if app[i] != want[i] {
+			t.Fatalf("AppendSet[%d] = %d, want %d", i, app[i], want[i])
+		}
+	}
+}
+
+func TestBitmapGrow(t *testing.T) {
+	b := NewBitmap(10)
+	b.Set(9)
+	b.Grow(100)
+	if b.Len() != 100 {
+		t.Fatalf("Len after Grow = %d, want 100", b.Len())
+	}
+	if !b.Get(9) || b.Count() != 1 {
+		t.Fatalf("Grow lost bits: Get(9)=%v Count=%d", b.Get(9), b.Count())
+	}
+	for i := 10; i < 100; i++ {
+		if b.Get(i) {
+			t.Fatalf("Grow set spurious bit %d", i)
+		}
+	}
+	b.Grow(5) // no-op
+	if b.Len() != 100 {
+		t.Fatalf("Grow shrank bitmap to %d", b.Len())
+	}
+}
+
+// Property: a Bitmap behaves exactly like a []bool under random operations.
+func TestBitmapQuickVsBoolSlice(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 1
+		b := NewBitmap(n)
+		ref := make([]bool, n)
+		for k := 0; k < int(nOps); k++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(i)
+				ref[i] = true
+			case 1:
+				b.Clear(i)
+				ref[i] = false
+			case 2:
+				if b.Get(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		cnt := 0
+		for i, v := range ref {
+			if b.Get(i) != v {
+				return false
+			}
+			if v {
+				cnt++
+			}
+		}
+		return b.Count() == cnt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: And/Or/AndNot match elementwise boolean logic on random inputs.
+func TestBitmapQuickLogic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500) + 1
+		a, b := NewBitmap(n), NewBitmap(n)
+		ra, rb := make([]bool, n), make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+				ra[i] = true
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+				rb[i] = true
+			}
+		}
+		and, or, andNot := a.Clone(), a.Clone(), a.Clone()
+		and.And(b)
+		or.Or(b)
+		andNot.AndNot(b)
+		for i := 0; i < n; i++ {
+			if and.Get(i) != (ra[i] && rb[i]) ||
+				or.Get(i) != (ra[i] || rb[i]) ||
+				andNot.Get(i) != (ra[i] && !rb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package storage
+
+import "fmt"
+
+// Consolidate compacts table t by physically removing tuples marked in the
+// deletion vector, preserving the order of surviving tuples, and rewrites
+// every foreign-key column in the database that references t so the AIR
+// invariant keeps holding. It returns the old-index-to-new-index map
+// (-1 for removed rows).
+//
+// Consolidation is the expensive maintenance operation of §4.4: because the
+// primary key is the array index, compaction renumbers keys and therefore
+// must update all references. The paper recommends running it only when the
+// system is idle; here it additionally refuses to run while snapshots pin
+// the table or its referrers.
+func Consolidate(db *Database, t *Table) ([]int32, error) {
+	refs := db.Referrers(t)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pins > 0 {
+		return nil, fmt.Errorf("storage: consolidate %s: table pinned by %d snapshot(s)", t.Name, t.pins)
+	}
+	for _, r := range refs {
+		if r.From != t && r.From.pins > 0 {
+			return nil, fmt.Errorf("storage: consolidate %s: referrer %s pinned by snapshot", t.Name, r.From.Name)
+		}
+	}
+	if t.del == nil || t.del.Count() == 0 {
+		// Nothing to compact; identity map.
+		remap := make([]int32, t.nrows)
+		for i := range remap {
+			remap[i] = int32(i)
+		}
+		t.free = t.free[:0]
+		return remap, nil
+	}
+
+	// No live reference may point at a deleted row; check before mutating.
+	for _, r := range refs {
+		fk := r.From.Column(r.Col).(*Int32Col)
+		for i, v := range fk.V {
+			if r.From.IsDeleted(i) {
+				continue
+			}
+			if t.del.Get(int(v)) {
+				return nil, fmt.Errorf("storage: consolidate %s: live row %s[%d] references deleted row %d",
+					t.Name, r.From.Name, i, v)
+			}
+		}
+	}
+
+	remap := make([]int32, t.nrows)
+	next := 0
+	for i := 0; i < t.nrows; i++ {
+		if t.del.Get(i) {
+			remap[i] = -1
+			continue
+		}
+		if next != i {
+			for _, name := range t.names {
+				t.cols[name].Move(next, i)
+			}
+		}
+		remap[i] = int32(next)
+		next++
+	}
+	for _, name := range t.names {
+		t.cols[name].Truncate(next)
+	}
+	t.nrows = next
+	t.del = nil
+	t.free = t.free[:0]
+
+	// Rewrite all references (the extra cost of consolidation under AIR).
+	for _, r := range refs {
+		fk := r.From.Column(r.Col).(*Int32Col)
+		for i := range fk.V {
+			if nv := remap[fk.V[i]]; nv >= 0 {
+				fk.V[i] = nv
+			} else {
+				// Referrer row must itself be deleted (checked above);
+				// keep a safe in-range value for the dead slot.
+				fk.V[i] = 0
+			}
+		}
+	}
+	return remap, nil
+}

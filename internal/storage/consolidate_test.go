@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConsolidateCompactsAndRemaps(t *testing.T) {
+	db, dim, fact := makeStarPair(t)
+	// Delete dim row 1 ("b"); first retarget fact rows pointing at it.
+	fk := fact.Column("f_dk").(*Int32Col)
+	for i, v := range fk.V {
+		if v == 1 {
+			fk.V[i] = 0
+		}
+	}
+	if err := dim.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+
+	remap, err := Consolidate(db, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remap) != 3 || remap[0] != 0 || remap[1] != -1 || remap[2] != 1 {
+		t.Fatalf("remap = %v", remap)
+	}
+	if dim.NumRows() != 2 {
+		t.Fatalf("dim rows = %d, want 2", dim.NumRows())
+	}
+	if s, _ := StringAt(dim.Column("d_name"), 1); s != "c" {
+		t.Fatalf("compaction order broken: row1=%q", s)
+	}
+	// FK values were rewritten: old 2 -> new 1.
+	want := []int32{0, 1, 0, 0, 1}
+	for i, v := range fk.V {
+		if v != want[i] {
+			t.Fatalf("fk[%d] = %d, want %d", i, v, want[i])
+		}
+	}
+	if err := db.ValidateAIR(); err != nil {
+		t.Fatalf("AIR broken after consolidation: %v", err)
+	}
+	if dim.Deleted() != nil && dim.Deleted().Count() != 0 {
+		t.Fatal("deletion vector not cleared")
+	}
+}
+
+func TestConsolidateNoDeletesIsIdentity(t *testing.T) {
+	db, dim, _ := makeStarPair(t)
+	remap, err := Consolidate(db, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range remap {
+		if int(v) != i {
+			t.Fatalf("identity remap broken at %d: %d", i, v)
+		}
+	}
+	if dim.NumRows() != 3 {
+		t.Fatal("identity consolidation changed rows")
+	}
+}
+
+func TestConsolidateRefusesLiveReferenceToDeleted(t *testing.T) {
+	db, dim, _ := makeStarPair(t)
+	if err := dim.Delete(2); err != nil { // fact rows 1,4 reference row 2
+		t.Fatal(err)
+	}
+	if _, err := Consolidate(db, dim); err == nil {
+		t.Fatal("consolidation of referenced deleted row accepted")
+	}
+}
+
+func TestConsolidateRefusesPinnedTable(t *testing.T) {
+	db, dim, fact := makeStarPair(t)
+	s := dim.Snapshot()
+	if _, err := Consolidate(db, dim); err == nil {
+		t.Fatal("consolidation of pinned table accepted")
+	}
+	s.Release()
+
+	s2 := fact.Snapshot()
+	if _, err := Consolidate(db, dim); err == nil {
+		t.Fatal("consolidation with pinned referrer accepted")
+	}
+	s2.Release()
+}
+
+// Property: delete a random live subset of an unreferenced dimension, then
+// consolidate; the surviving tuples keep their order and values.
+func TestConsolidateQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(1000)
+		}
+		tb := NewTable("q")
+		tb.MustAddColumn("v", NewInt64Col(append([]int64(nil), vals...)))
+		db := NewDatabase()
+		db.MustAdd(tb)
+
+		var want []int64
+		deleted := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				deleted[i] = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			if deleted[i] {
+				if err := tb.Delete(i); err != nil {
+					return false
+				}
+			} else {
+				want = append(want, vals[i])
+			}
+		}
+		remap, err := Consolidate(db, tb)
+		if err != nil {
+			return false
+		}
+		if tb.NumRows() != len(want) {
+			return false
+		}
+		got := tb.Column("v").(*Int64Col).V
+		for i, w := range want {
+			if got[i] != w {
+				return false
+			}
+		}
+		// remap consistency
+		for old, nv := range remap {
+			if deleted[old] != (nv == -1) {
+				return false
+			}
+			if nv >= 0 && got[nv] != vals[old] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package storage
+
+// Dict is an insertion-ordered string dictionary.
+//
+// A-Store stores dictionaries as arrays and uses the array index as the
+// compression code, so a dictionary is just another reference table and a
+// dictionary-compressed column is a foreign key (AIR) into it. Decompression
+// is a positional array lookup.
+//
+// Dict is append-only: codes are stable once assigned, which lets multiple
+// tables (for example a dimension table and a denormalized universal table)
+// share one dictionary.
+type Dict struct {
+	vals []string
+	idx  map[string]int32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{idx: make(map[string]int32)}
+}
+
+// Intern returns the code for s, adding s to the dictionary if absent.
+func (d *Dict) Intern(s string) int32 {
+	if c, ok := d.idx[s]; ok {
+		return c
+	}
+	c := int32(len(d.vals))
+	d.vals = append(d.vals, s)
+	d.idx[s] = c
+	return c
+}
+
+// Code returns the code for s and whether s is present.
+func (d *Dict) Code(s string) (int32, bool) {
+	c, ok := d.idx[s]
+	return c, ok
+}
+
+// Value returns the string for code c.
+func (d *Dict) Value(c int32) string { return d.vals[c] }
+
+// Len returns the number of distinct values.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Values returns the dictionary array. The caller must not modify it.
+func (d *Dict) Values() []string { return d.vals }

@@ -1,0 +1,381 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary database image format (little-endian throughout):
+//
+//	magic "ASTORDB1"
+//	u32 dictCount, then per dictionary: u32 valueCount, values (u32 len + bytes)
+//	u32 tableCount, then per table:
+//	    name, u32 rowCount, u32 colCount
+//	    per column: name, u8 type, payload
+//	        int32/int64/float64: fixed-width array
+//	        string:              per-row u32 len + bytes
+//	        dict:                u32 dictionary index + code array
+//	    u8 hasDeletionVector [+ bitmap words]
+//	    u32 fkCount, then per FK: column name, referenced table name
+//
+// Shared dictionaries serialize once and rewire on load, preserving the
+// code stability that lets tables share them. The slot free list is not
+// stored; it is derivable from the deletion vector.
+const persistMagic = "ASTORDB1"
+
+// maxLoadCount bounds element counts read from an image, as a defense
+// against corrupt or hostile files.
+const maxLoadCount = 1 << 31
+
+// Save writes the database as a binary image. The writer is buffered
+// internally; callers own closing the underlying file.
+func (db *Database) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+
+	// Collect shared dictionaries in first-appearance order.
+	var dicts []*Dict
+	dictID := make(map[*Dict]uint32)
+	for _, t := range db.tables {
+		for _, name := range t.names {
+			if dc, ok := t.cols[name].(*DictCol); ok {
+				if _, seen := dictID[dc.Dict]; !seen {
+					dictID[dc.Dict] = uint32(len(dicts))
+					dicts = append(dicts, dc.Dict)
+				}
+			}
+		}
+	}
+	writeU32(bw, uint32(len(dicts)))
+	for _, d := range dicts {
+		writeU32(bw, uint32(d.Len()))
+		for _, s := range d.Values() {
+			writeStr(bw, s)
+		}
+	}
+
+	writeU32(bw, uint32(len(db.tables)))
+	for _, t := range db.tables {
+		writeStr(bw, t.Name)
+		writeU32(bw, uint32(t.nrows))
+		writeU32(bw, uint32(len(t.names)))
+		for _, name := range t.names {
+			writeStr(bw, name)
+			c := t.cols[name]
+			if err := writeColumn(bw, c, dictID); err != nil {
+				return fmt.Errorf("storage: save %s.%s: %w", t.Name, name, err)
+			}
+		}
+		if t.del != nil && t.del.Count() > 0 {
+			bw.WriteByte(1)
+			words := (t.nrows + 63) / 64
+			for wi := 0; wi < words; wi++ {
+				var word uint64
+				for b := 0; b < 64; b++ {
+					i := wi*64 + b
+					if i < t.nrows && t.del.Get(i) {
+						word |= 1 << uint(b)
+					}
+				}
+				writeU64(bw, word)
+			}
+		} else {
+			bw.WriteByte(0)
+		}
+		writeU32(bw, uint32(len(t.fks)))
+		for _, col := range t.names {
+			if ref := t.fks[col]; ref != nil {
+				writeStr(bw, col)
+				writeStr(bw, ref.Name)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadDatabase reads a binary image written by Save, rebuilding tables,
+// shared dictionaries, deletion vectors, slot free lists, and FK edges.
+func LoadDatabase(r io.Reader) (*Database, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("storage: load: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("storage: load: bad magic %q", magic)
+	}
+
+	nd, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if nd > maxLoadCount {
+		return nil, fmt.Errorf("storage: load: dictionary count %d too large", nd)
+	}
+	dicts := make([]*Dict, nd)
+	for i := range dicts {
+		nv, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if nv > maxLoadCount {
+			return nil, fmt.Errorf("storage: load: dictionary size %d too large", nv)
+		}
+		d := NewDict()
+		for v := uint32(0); v < nv; v++ {
+			s, err := readStr(br)
+			if err != nil {
+				return nil, err
+			}
+			d.Intern(s)
+		}
+		dicts[i] = d
+	}
+
+	nt, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDatabase()
+	type fkEdge struct{ table, col, ref string }
+	var edges []fkEdge
+	for ti := uint32(0); ti < nt; ti++ {
+		name, err := readStr(br)
+		if err != nil {
+			return nil, err
+		}
+		nrows, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		ncols, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if nrows > maxLoadCount || ncols > 1<<20 {
+			return nil, fmt.Errorf("storage: load: table %s implausible shape", name)
+		}
+		t := NewTable(name)
+		for ci := uint32(0); ci < ncols; ci++ {
+			colName, err := readStr(br)
+			if err != nil {
+				return nil, err
+			}
+			c, err := readColumn(br, int(nrows), dicts)
+			if err != nil {
+				return nil, fmt.Errorf("storage: load %s.%s: %w", name, colName, err)
+			}
+			if err := t.AddColumn(colName, c); err != nil {
+				return nil, err
+			}
+		}
+		t.nrows = int(nrows) // tables with zero columns still carry rows
+		hasDel, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if hasDel == 1 {
+			t.del = NewBitmap(int(nrows))
+			words := (int(nrows) + 63) / 64
+			for wi := 0; wi < words; wi++ {
+				word, err := readU64(br)
+				if err != nil {
+					return nil, err
+				}
+				for b := 0; b < 64; b++ {
+					i := wi*64 + b
+					if i < int(nrows) && word&(1<<uint(b)) != 0 {
+						t.del.Set(i)
+						t.free = append(t.free, int32(i))
+					}
+				}
+			}
+		}
+		nfk, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		for f := uint32(0); f < nfk; f++ {
+			col, err := readStr(br)
+			if err != nil {
+				return nil, err
+			}
+			ref, err := readStr(br)
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, fkEdge{table: name, col: col, ref: ref})
+		}
+		if err := db.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range edges {
+		t := db.Table(e.table)
+		ref := db.Table(e.ref)
+		if ref == nil {
+			return nil, fmt.Errorf("storage: load: FK %s.%s references unknown table %s", e.table, e.col, e.ref)
+		}
+		if err := t.AddFK(e.col, ref); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func writeColumn(w *bufio.Writer, c Column, dictID map[*Dict]uint32) error {
+	if err := w.WriteByte(byte(c.Type())); err != nil {
+		return err
+	}
+	switch c := c.(type) {
+	case *Int32Col:
+		for _, v := range c.V {
+			writeU32(w, uint32(v))
+		}
+	case *Int64Col:
+		for _, v := range c.V {
+			writeU64(w, uint64(v))
+		}
+	case *Float64Col:
+		for _, v := range c.V {
+			writeU64(w, math.Float64bits(v))
+		}
+	case *StrCol:
+		for _, s := range c.V {
+			writeStr(w, s)
+		}
+	case *DictCol:
+		writeU32(w, dictID[c.Dict])
+		for _, v := range c.Codes {
+			writeU32(w, uint32(v))
+		}
+	default:
+		return fmt.Errorf("unknown column type %T", c)
+	}
+	return nil
+}
+
+func readColumn(r *bufio.Reader, n int, dicts []*Dict) (Column, error) {
+	tb, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch Type(tb) {
+	case TInt32:
+		v := make([]int32, n)
+		for i := range v {
+			x, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			v[i] = int32(x)
+		}
+		return NewInt32Col(v), nil
+	case TInt64:
+		v := make([]int64, n)
+		for i := range v {
+			x, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			v[i] = int64(x)
+		}
+		return NewInt64Col(v), nil
+	case TFloat64:
+		v := make([]float64, n)
+		for i := range v {
+			x, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			v[i] = math.Float64frombits(x)
+		}
+		return NewFloat64Col(v), nil
+	case TString:
+		v := make([]string, n)
+		for i := range v {
+			s, err := readStr(r)
+			if err != nil {
+				return nil, err
+			}
+			v[i] = s
+		}
+		return NewStrCol(v), nil
+	case TDict:
+		di, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if int(di) >= len(dicts) {
+			return nil, fmt.Errorf("dictionary index %d out of range", di)
+		}
+		codes := make([]int32, n)
+		d := dicts[di]
+		for i := range codes {
+			x, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			if int(x) >= d.Len() {
+				return nil, fmt.Errorf("code %d out of dictionary range", x)
+			}
+			codes[i] = int32(x)
+		}
+		return &DictCol{Codes: codes, Dict: d}, nil
+	default:
+		return nil, fmt.Errorf("unknown column type byte %d", tb)
+	}
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func writeStr(w *bufio.Writer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readU64(r *bufio.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func readStr(r *bufio.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<28 {
+		return "", fmt.Errorf("storage: load: string length %d too large", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

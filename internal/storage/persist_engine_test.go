@@ -1,0 +1,53 @@
+package storage_test
+
+// This file lives in storage_test (external test package) because it runs
+// full queries over a persisted-and-reloaded schema, pulling in the engine.
+
+import (
+	"bytes"
+	"testing"
+
+	"astore/internal/core"
+	"astore/internal/datagen/ssb"
+	"astore/internal/query"
+	"astore/internal/storage"
+)
+
+// TestPersistedSSBQueriesIdentical: generate SSB, save, load, and verify
+// all 13 queries return identical results on the reloaded database.
+func TestPersistedSSBQueriesIdentical(t *testing.T) {
+	data := ssb.Generate(ssb.Config{SF: 0.005, Seed: 9})
+	var buf bytes.Buffer
+	if err := data.DB.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := storage.LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.ValidateAIR(); err != nil {
+		t.Fatal(err)
+	}
+
+	engOrig, err := core.New(data.Lineorder, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engLoaded, err := core.New(loaded.Table("lineorder"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ssb.Queries() {
+		want, err := engOrig.Run(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		got, err := engLoaded.Run(q)
+		if err != nil {
+			t.Fatalf("%s on loaded db: %v", q.Name, err)
+		}
+		if err := query.Diff(want, got, 1e-9); err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package storage
+
+// Selection vectors record the row ids of tuples that have survived
+// predicate evaluation so far (§4.1). Unlike bitmap-based scans, which
+// evaluate every column completely and combine bitmaps, a selection vector
+// shrinks after each predicate so later columns are only probed at surviving
+// positions — saving memory bandwidth and, under AIR, random lookups.
+//
+// A selection vector is a plain []int32 of ascending row ids.
+
+// NewSel returns the identity selection vector [0, n).
+func NewSel(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}
+
+// NewSelRange returns the selection vector [lo, hi).
+func NewSelRange(lo, hi int) []int32 {
+	s := make([]int32, hi-lo)
+	for i := range s {
+		s[i] = int32(lo + i)
+	}
+	return s
+}
+
+// NewSelLive returns the selection vector of rows in [lo, hi) not marked in
+// the deletion vector del (del may be nil).
+func NewSelLive(lo, hi int, del *Bitmap) []int32 {
+	if del == nil {
+		return NewSelRange(lo, hi)
+	}
+	s := make([]int32, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		if !del.Get(i) {
+			s = append(s, int32(i))
+		}
+	}
+	return s
+}

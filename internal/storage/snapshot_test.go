@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func snapTable(t *testing.T) *Table {
+	t.Helper()
+	tb := NewTable("s")
+	tb.MustAddColumn("v", NewInt64Col([]int64{10, 20, 30}))
+	tb.MustAddColumn("name", NewStrCol([]string{"a", "b", "c"}))
+	return tb
+}
+
+func TestSnapshotHidesAppends(t *testing.T) {
+	tb := snapTable(t)
+	s := tb.Snapshot()
+	defer s.Release()
+	if _, err := tb.Insert(map[string]any{"v": 40, "name": "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 3 {
+		t.Fatalf("snapshot rows = %d, want 3", s.NumRows())
+	}
+	if tb.NumRows() != 4 {
+		t.Fatalf("table rows = %d, want 4", tb.NumRows())
+	}
+	if s.Column("v").Len() != 3 {
+		t.Fatalf("snapshot column len = %d, want 3", s.Column("v").Len())
+	}
+}
+
+func TestSnapshotHidesDeletes(t *testing.T) {
+	tb := snapTable(t)
+	s := tb.Snapshot()
+	defer s.Release()
+	if err := tb.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.IsDeleted(1) {
+		t.Fatal("delete leaked into snapshot")
+	}
+	if !tb.IsDeleted(1) {
+		t.Fatal("table missed delete")
+	}
+}
+
+func TestSnapshotCopyOnWriteUpdate(t *testing.T) {
+	tb := snapTable(t)
+	s := tb.Snapshot()
+	defer s.Release()
+	if err := tb.Update(0, "v", int64(999)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Column("v").(*Int64Col).V[0]; got != 10 {
+		t.Fatalf("in-place update leaked into snapshot: %d", got)
+	}
+	if got := tb.Column("v").(*Int64Col).V[0]; got != 999 {
+		t.Fatalf("table lost update: %d", got)
+	}
+}
+
+func TestSnapshotCopyOnWriteSlotReuse(t *testing.T) {
+	tb := snapTable(t)
+	if err := tb.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	s := tb.Snapshot()
+	defer s.Release()
+	// Reusing the deleted slot writes in place; the snapshot must keep the
+	// row invisible AND keep the old value.
+	row, err := tb.Insert(map[string]any{"v": 77, "name": "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row != 2 {
+		t.Fatalf("expected slot reuse of row 2, got %d", row)
+	}
+	if !s.IsDeleted(2) {
+		t.Fatal("snapshot sees resurrected row")
+	}
+	if got := s.Column("v").(*Int64Col).V[2]; got != 30 {
+		t.Fatalf("snapshot sees reused slot value %d", got)
+	}
+}
+
+func TestSnapshotReleaseStopsCOW(t *testing.T) {
+	tb := snapTable(t)
+	s := tb.Snapshot()
+	s.Release()
+	s.Release() // double release is a no-op
+	before := tb.Column("v")
+	if err := tb.Update(0, "v", 1); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Column("v") != before {
+		t.Fatal("update cloned column after all snapshots released")
+	}
+}
+
+func TestTwoSnapshotsSeeStableDistinctVersions(t *testing.T) {
+	tb := snapTable(t)
+	s1 := tb.Snapshot()
+	defer s1.Release()
+	if err := tb.Update(1, "v", 21); err != nil {
+		t.Fatal(err)
+	}
+	s2 := tb.Snapshot()
+	defer s2.Release()
+	if err := tb.Update(1, "v", 22); err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.Column("v").(*Int64Col).V[1]; got != 20 {
+		t.Fatalf("s1 sees %d, want 20", got)
+	}
+	if got := s2.Column("v").(*Int64Col).V[1]; got != 21 {
+		t.Fatalf("s2 sees %d, want 21", got)
+	}
+	if got := tb.Column("v").(*Int64Col).V[1]; got != 22 {
+		t.Fatalf("live sees %d, want 22", got)
+	}
+}
+
+// Concurrent snapshot readers with an active writer: the reader's sums must
+// equal one of the stable versions (run with -race to check synchronization).
+func TestSnapshotConcurrentReaderWriter(t *testing.T) {
+	tb := NewTable("c")
+	n := 1000
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	tb.MustAddColumn("v", NewInt64Col(v))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i = (i + 1) % n {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := tb.Update(i, "v", int64(2)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for k := 0; k < 50; k++ {
+		s := tb.Snapshot()
+		col := s.Column("v").(*Int64Col)
+		var sum int64
+		for _, x := range col.V {
+			sum += x
+		}
+		// Every row is 1 or 2, and the snapshot is stable: re-summing gives
+		// the same result.
+		var sum2 int64
+		for _, x := range col.V {
+			sum2 += x
+		}
+		if sum != sum2 {
+			t.Fatalf("snapshot unstable: %d vs %d", sum, sum2)
+		}
+		if sum < int64(n) || sum > 2*int64(n) {
+			t.Fatalf("impossible sum %d", sum)
+		}
+		s.Release()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,243 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Table is an array family: a named set of equally long, aligned columns.
+// The array index is the primary key; no explicit key column exists. A
+// foreign-key column (always Int32) stores array indexes of its referenced
+// table, which is the array index reference (AIR) mechanism that makes the
+// whole schema a virtual universal table.
+type Table struct {
+	// Name is the table name, unique within a Database.
+	Name string
+
+	names []string
+	cols  map[string]Column
+	fks   map[string]*Table
+
+	nrows int
+
+	// Lazy deletion state (§4.4): del marks out-of-date tuples, free lists
+	// reusable slots of deleted tuples.
+	del  *Bitmap
+	free []int32
+
+	// shared marks columns pinned by live snapshots; an in-place write to
+	// a shared column clones it first (column-granularity copy-on-write).
+	shared map[string]bool
+	pins   int
+
+	// mu serializes writers. Readers use Snapshot for isolation; reading
+	// the live table concurrently with writers is not synchronized.
+	mu sync.Mutex
+}
+
+// NewTable returns an empty table.
+func NewTable(name string) *Table {
+	return &Table{
+		Name: name,
+		cols: make(map[string]Column),
+		fks:  make(map[string]*Table),
+	}
+}
+
+// AddColumn adds a named column. The first column fixes the row count; every
+// later column must match it.
+func (t *Table) AddColumn(name string, c Column) error {
+	if _, dup := t.cols[name]; dup {
+		return fmt.Errorf("storage: table %s: duplicate column %s", t.Name, name)
+	}
+	if len(t.names) == 0 {
+		t.nrows = c.Len()
+	} else if c.Len() != t.nrows {
+		return fmt.Errorf("storage: table %s: column %s has %d rows, want %d",
+			t.Name, name, c.Len(), t.nrows)
+	}
+	t.names = append(t.names, name)
+	t.cols[name] = c
+	return nil
+}
+
+// MustAddColumn is AddColumn that panics on error; intended for generators
+// and tests where the schema is static.
+func (t *Table) MustAddColumn(name string, c Column) {
+	if err := t.AddColumn(name, c); err != nil {
+		panic(err)
+	}
+}
+
+// Column returns the named column, or nil if absent.
+func (t *Table) Column(name string) Column { return t.cols[name] }
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string { return t.names }
+
+// NumRows returns the number of physical rows, including lazily deleted ones.
+func (t *Table) NumRows() int { return t.nrows }
+
+// NumLive returns the number of rows not marked deleted.
+func (t *Table) NumLive() int {
+	if t.del == nil {
+		return t.nrows
+	}
+	return t.nrows - t.del.Count()
+}
+
+// AddFK declares column col as a foreign key referencing ref. The column
+// must exist and be an Int32 column whose values are array indexes of ref.
+func (t *Table) AddFK(col string, ref *Table) error {
+	c, ok := t.cols[col]
+	if !ok {
+		return fmt.Errorf("storage: table %s: no column %s", t.Name, col)
+	}
+	if _, ok := c.(*Int32Col); !ok {
+		return fmt.Errorf("storage: table %s: FK column %s must be int32, got %s",
+			t.Name, col, c.Type())
+	}
+	t.fks[col] = ref
+	return nil
+}
+
+// MustAddFK is AddFK that panics on error.
+func (t *Table) MustAddFK(col string, ref *Table) {
+	if err := t.AddFK(col, ref); err != nil {
+		panic(err)
+	}
+}
+
+// FK returns the table referenced by column col, or nil.
+func (t *Table) FK(col string) *Table { return t.fks[col] }
+
+// FKs returns a copy of the FK map (column name to referenced table).
+func (t *Table) FKs() map[string]*Table {
+	m := make(map[string]*Table, len(t.fks))
+	for k, v := range t.fks {
+		m[k] = v
+	}
+	return m
+}
+
+// Deleted returns the deletion vector, or nil if no row was ever deleted.
+func (t *Table) Deleted() *Bitmap { return t.del }
+
+// IsDeleted reports whether row i is marked deleted.
+func (t *Table) IsDeleted(i int) bool { return t.del != nil && t.del.Get(i) }
+
+// ValidateAIR checks that every foreign-key value is a valid, live index of
+// the referenced table. This is the core storage invariant of A-Store.
+func (t *Table) ValidateAIR() error {
+	for col, ref := range t.fks {
+		fk := t.cols[col].(*Int32Col)
+		for i, v := range fk.V {
+			if t.IsDeleted(i) {
+				continue
+			}
+			if v < 0 || int(v) >= ref.NumRows() {
+				return fmt.Errorf("storage: %s.%s[%d]=%d out of range for %s (%d rows)",
+					t.Name, col, i, v, ref.Name, ref.NumRows())
+			}
+			if ref.IsDeleted(int(v)) {
+				return fmt.Errorf("storage: %s.%s[%d]=%d references deleted row of %s",
+					t.Name, col, i, v, ref.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// MemBytes estimates the resident size of the table's arrays in bytes
+// (dictionaries counted once; Go string headers counted, contents estimated).
+func (t *Table) MemBytes() int64 {
+	var b int64
+	seen := make(map[*Dict]bool)
+	for _, name := range t.names {
+		switch c := t.cols[name].(type) {
+		case *Int32Col:
+			b += int64(len(c.V)) * 4
+		case *Int64Col:
+			b += int64(len(c.V)) * 8
+		case *Float64Col:
+			b += int64(len(c.V)) * 8
+		case *StrCol:
+			for _, s := range c.V {
+				b += int64(len(s)) + 16
+			}
+		case *DictCol:
+			b += int64(len(c.Codes)) * 4
+			if !seen[c.Dict] {
+				seen[c.Dict] = true
+				for _, s := range c.Dict.Values() {
+					b += int64(len(s)) + 16
+				}
+			}
+		}
+	}
+	return b
+}
+
+// Database is a catalog of tables; it exists so that operations that must see
+// all referrers of a table (consolidation, AIR validation) can find them.
+type Database struct {
+	tables []*Table
+	byName map[string]*Table
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{byName: make(map[string]*Table)}
+}
+
+// Add registers a table. Adding two tables with one name is an error.
+func (db *Database) Add(t *Table) error {
+	if _, dup := db.byName[t.Name]; dup {
+		return fmt.Errorf("storage: duplicate table %s", t.Name)
+	}
+	db.tables = append(db.tables, t)
+	db.byName[t.Name] = t
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (db *Database) MustAdd(t *Table) {
+	if err := db.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Table returns the named table, or nil.
+func (db *Database) Table(name string) *Table { return db.byName[name] }
+
+// Tables returns the registered tables in insertion order.
+func (db *Database) Tables() []*Table { return db.tables }
+
+// RefEdge identifies a foreign-key column of From referencing some table.
+type RefEdge struct {
+	From *Table
+	Col  string
+}
+
+// Referrers returns every FK column in the database that references t.
+func (db *Database) Referrers(t *Table) []RefEdge {
+	var out []RefEdge
+	for _, tab := range db.tables {
+		for col, ref := range tab.fks {
+			if ref == t {
+				out = append(out, RefEdge{From: tab, Col: col})
+			}
+		}
+	}
+	return out
+}
+
+// ValidateAIR validates the AIR invariant for every table.
+func (db *Database) ValidateAIR() error {
+	for _, t := range db.tables {
+		if err := t.ValidateAIR(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

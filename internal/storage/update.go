@@ -1,0 +1,155 @@
+package storage
+
+import "fmt"
+
+// This file implements the update mechanisms of §4.4:
+//
+//   - Insertion by appending, with free-slot reuse: deleted tuples leave
+//     holes that later insertions fill. Slot reuse is sound because the
+//     primary key is the array index, a surrogate with no semantic meaning.
+//   - Lazy deletion via a deletion bit vector; no cascade modification.
+//   - In-place updates (variable-length values live out of line, so even
+//     varchar updates are in place).
+//
+// Writers must hold the table's internal mutex, which these methods take.
+// Readers that need isolation take a Snapshot (snapshot.go); in-place writes
+// to snapshot-pinned columns trigger column-granularity copy-on-write.
+
+// Insert adds a tuple with the given column values and returns its row index
+// (its primary key). If a deleted slot is available it is reused; otherwise
+// the tuple is appended at the end of every array. vals must contain a value
+// for every column of the table.
+func (t *Table) Insert(vals map[string]any) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(vals) != len(t.names) {
+		return -1, fmt.Errorf("storage: table %s: insert got %d values, want %d",
+			t.Name, len(vals), len(t.names))
+	}
+	for _, name := range t.names {
+		if _, ok := vals[name]; !ok {
+			return -1, fmt.Errorf("storage: table %s: insert missing column %s", t.Name, name)
+		}
+	}
+
+	// Reuse a deleted slot if one is free.
+	if n := len(t.free); n > 0 {
+		row := int(t.free[n-1])
+		// Validate before mutating so a bad value cannot corrupt the slot.
+		for _, name := range t.names {
+			if err := checkAssignable(t.cols[name], vals[name]); err != nil {
+				return -1, fmt.Errorf("storage: table %s: %w", t.Name, err)
+			}
+		}
+		t.free = t.free[:n-1]
+		for _, name := range t.names {
+			c := t.cowColumn(name)
+			if err := setValue(c, row, vals[name]); err != nil {
+				return -1, err
+			}
+		}
+		t.del.Clear(row)
+		return row, nil
+	}
+
+	// Append at the end. Go slice growth doubles capacity, which plays the
+	// role of the paper's reserved free space at the end of each array: most
+	// appends touch no allocator.
+	for _, name := range t.names {
+		if err := checkAssignable(t.cols[name], vals[name]); err != nil {
+			return -1, fmt.Errorf("storage: table %s: %w", t.Name, err)
+		}
+	}
+	row := t.nrows
+	for _, name := range t.names {
+		if err := appendValue(t.cols[name], vals[name]); err != nil {
+			return -1, err
+		}
+	}
+	t.nrows++
+	if t.del != nil {
+		t.del.Grow(t.nrows)
+	}
+	return row, nil
+}
+
+// Delete marks row i out-of-date in the deletion vector and records its slot
+// for reuse. It does not cascade; callers are responsible for not deleting a
+// tuple that is still referenced (ValidateAIR detects violations).
+func (t *Table) Delete(i int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= t.nrows {
+		return fmt.Errorf("storage: table %s: delete row %d out of range", t.Name, i)
+	}
+	if t.del == nil {
+		t.del = NewBitmap(t.nrows)
+	}
+	if t.del.Get(i) {
+		return fmt.Errorf("storage: table %s: row %d already deleted", t.Name, i)
+	}
+	if t.pins > 0 {
+		// The deletion vector is part of snapshot state; snapshots clone it
+		// at creation, so mutating the live one is safe.
+		t.del = t.del.Clone()
+	}
+	t.del.Set(i)
+	t.free = append(t.free, int32(i))
+	return nil
+}
+
+// Update overwrites column col of row i in place. In-place updating never
+// touches foreign keys of referring tables because the primary key (the
+// array index) does not change.
+func (t *Table) Update(i int, col string, v any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= t.nrows {
+		return fmt.Errorf("storage: table %s: update row %d out of range", t.Name, i)
+	}
+	if t.IsDeleted(i) {
+		return fmt.Errorf("storage: table %s: update of deleted row %d", t.Name, i)
+	}
+	c, ok := t.cols[col]
+	if !ok {
+		return fmt.Errorf("storage: table %s: no column %s", t.Name, col)
+	}
+	if err := checkAssignable(c, v); err != nil {
+		return fmt.Errorf("storage: table %s: %w", t.Name, err)
+	}
+	return setValue(t.cowColumn(col), i, v)
+}
+
+// cowColumn returns the named column, cloning it first if it is pinned by a
+// live snapshot (copy-on-write at column granularity — the simulation of the
+// paper's OS-level copy-on-write isolation between OLTP and OLAP).
+func (t *Table) cowColumn(name string) Column {
+	c := t.cols[name]
+	if t.shared != nil && t.shared[name] {
+		c = c.Clone()
+		t.cols[name] = c
+		t.shared[name] = false
+	}
+	return c
+}
+
+// checkAssignable verifies v can be stored into column c without mutating it.
+func checkAssignable(c Column, v any) error {
+	switch c.(type) {
+	case *Int32Col, *Int64Col:
+		_, err := toInt64(v)
+		return err
+	case *Float64Col:
+		switch v.(type) {
+		case float64, float32, int, int64:
+			return nil
+		}
+		return fmt.Errorf("cannot store %T in float64 column", v)
+	case *StrCol, *DictCol:
+		if _, ok := v.(string); !ok {
+			return fmt.Errorf("cannot store %T in string column", v)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown column type %T", c)
+}

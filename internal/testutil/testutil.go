@@ -1,0 +1,420 @@
+// Package testutil provides shared test fixtures for the engine packages: a
+// deterministic star schema, a deterministic snowflake schema, and an
+// independent brute-force SPJGA oracle (NaiveRun) used for differential
+// testing of every engine and scan variant.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"astore/internal/expr"
+	"astore/internal/query"
+	"astore/internal/schema"
+	"astore/internal/storage"
+)
+
+// BuildStar returns a small star schema with deterministic pseudo-random
+// contents: fact(nFact) referencing date(21), customer(50), part(40).
+func BuildStar(seed int64, nFact int) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+
+	nDate := 21
+	years := make([]int32, nDate)
+	months := storage.NewDictCol(storage.NewDict())
+	for i := 0; i < nDate; i++ {
+		years[i] = int32(1992 + i%7)
+		months.Append([]string{"Jan", "Feb", "Mar", "Apr", "May", "Jun"}[i%6])
+	}
+	date := storage.NewTable("date")
+	date.MustAddColumn("d_year", storage.NewInt32Col(years))
+	date.MustAddColumn("d_month", months)
+
+	nCust := 50
+	regions := []string{"ASIA", "AMERICA", "EUROPE", "AFRICA", "MIDDLE EAST"}
+	cRegion := storage.NewDictCol(storage.NewDict())
+	cNation := storage.NewDictCol(storage.NewDict())
+	cBal := make([]int64, nCust)
+	for i := 0; i < nCust; i++ {
+		r := rng.Intn(len(regions))
+		cRegion.Append(regions[r])
+		cNation.Append(fmt.Sprintf("%s-N%d", regions[r], rng.Intn(5)))
+		cBal[i] = int64(rng.Intn(1000))
+	}
+	customer := storage.NewTable("customer")
+	customer.MustAddColumn("c_region", cRegion)
+	customer.MustAddColumn("c_nation", cNation)
+	customer.MustAddColumn("c_balance", storage.NewInt64Col(cBal))
+
+	nPart := 40
+	pBrand := storage.NewDictCol(storage.NewDict())
+	pSize := make([]int32, nPart)
+	for i := 0; i < nPart; i++ {
+		pBrand.Append(fmt.Sprintf("BRAND#%d", rng.Intn(10)))
+		pSize[i] = int32(rng.Intn(20))
+	}
+	part := storage.NewTable("part")
+	part.MustAddColumn("p_brand", pBrand)
+	part.MustAddColumn("p_size", storage.NewInt32Col(pSize))
+
+	fkD := make([]int32, nFact)
+	fkC := make([]int32, nFact)
+	fkP := make([]int32, nFact)
+	qty := make([]int32, nFact)
+	disc := make([]int32, nFact)
+	ext := make([]int64, nFact)
+	rev := make([]int64, nFact)
+	cost := make([]int64, nFact)
+	frac := make([]float64, nFact)
+	tag := storage.NewDictCol(storage.NewDict())
+	for i := 0; i < nFact; i++ {
+		fkD[i] = int32(rng.Intn(nDate))
+		fkC[i] = int32(rng.Intn(nCust))
+		fkP[i] = int32(rng.Intn(nPart))
+		qty[i] = int32(rng.Intn(50) + 1)
+		disc[i] = int32(rng.Intn(11))
+		ext[i] = int64(rng.Intn(10000) + 100)
+		rev[i] = ext[i] * int64(100-disc[i]) / 100
+		cost[i] = int64(rng.Intn(5000))
+		frac[i] = float64(rng.Intn(100)) / 100
+		tag.Append([]string{"red", "green", "blue"}[rng.Intn(3)])
+	}
+	fact := storage.NewTable("fact")
+	fact.MustAddColumn("f_dk", storage.NewInt32Col(fkD))
+	fact.MustAddColumn("f_ck", storage.NewInt32Col(fkC))
+	fact.MustAddColumn("f_pk", storage.NewInt32Col(fkP))
+	fact.MustAddColumn("f_quantity", storage.NewInt32Col(qty))
+	fact.MustAddColumn("f_discount", storage.NewInt32Col(disc))
+	fact.MustAddColumn("f_extprice", storage.NewInt64Col(ext))
+	fact.MustAddColumn("f_revenue", storage.NewInt64Col(rev))
+	fact.MustAddColumn("f_supplycost", storage.NewInt64Col(cost))
+	fact.MustAddColumn("f_frac", storage.NewFloat64Col(frac))
+	fact.MustAddColumn("f_tag", tag)
+	fact.MustAddFK("f_dk", date)
+	fact.MustAddFK("f_ck", customer)
+	fact.MustAddFK("f_pk", part)
+	return fact
+}
+
+// BuildSnowflake wires fact -> order -> customer -> nation -> region plus
+// fact -> part, with pseudo-random contents.
+func BuildSnowflake(seed int64, nFact int) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+
+	region := storage.NewTable("region")
+	rName := storage.NewDictCol(storage.NewDict())
+	for _, s := range []string{"ASIA", "AMERICA", "EUROPE", "AFRICA", "MIDDLE EAST"} {
+		rName.Append(s)
+	}
+	region.MustAddColumn("r_name", rName)
+
+	nNation := 25
+	nation := storage.NewTable("nation")
+	nName := storage.NewDictCol(storage.NewDict())
+	nRK := make([]int32, nNation)
+	for i := 0; i < nNation; i++ {
+		nName.Append(fmt.Sprintf("NATION%02d", i))
+		nRK[i] = int32(i % 5)
+	}
+	nation.MustAddColumn("n_name", nName)
+	nation.MustAddColumn("n_rk", storage.NewInt32Col(nRK))
+	nation.MustAddFK("n_rk", region)
+
+	nCust := 60
+	customer := storage.NewTable("customer")
+	cNK := make([]int32, nCust)
+	cSeg := storage.NewDictCol(storage.NewDict())
+	for i := 0; i < nCust; i++ {
+		cNK[i] = int32(rng.Intn(nNation))
+		cSeg.Append([]string{"BUILDING", "MACHINERY", "AUTOMOBILE"}[rng.Intn(3)])
+	}
+	customer.MustAddColumn("c_nk", storage.NewInt32Col(cNK))
+	customer.MustAddColumn("c_mktsegment", cSeg)
+	customer.MustAddFK("c_nk", nation)
+
+	nOrder := 200
+	order := storage.NewTable("order")
+	oCK := make([]int32, nOrder)
+	oPrice := make([]int64, nOrder)
+	for i := 0; i < nOrder; i++ {
+		oCK[i] = int32(rng.Intn(nCust))
+		oPrice[i] = int64(rng.Intn(2000))
+	}
+	order.MustAddColumn("o_ck", storage.NewInt32Col(oCK))
+	order.MustAddColumn("o_price", storage.NewInt64Col(oPrice))
+	order.MustAddFK("o_ck", customer)
+
+	nPart := 30
+	part := storage.NewTable("part")
+	pType := storage.NewDictCol(storage.NewDict())
+	for i := 0; i < nPart; i++ {
+		pType.Append(fmt.Sprintf("TYPE%d", i%7))
+	}
+	part.MustAddColumn("p_type", pType)
+
+	fact := storage.NewTable("lineitem")
+	lOK := make([]int32, nFact)
+	lPK := make([]int32, nFact)
+	lPrice := make([]int64, nFact)
+	lDisc := make([]float64, nFact)
+	for i := 0; i < nFact; i++ {
+		lOK[i] = int32(rng.Intn(nOrder))
+		lPK[i] = int32(rng.Intn(nPart))
+		lPrice[i] = int64(rng.Intn(10000) + 1)
+		lDisc[i] = float64(rng.Intn(10)) / 100
+	}
+	fact.MustAddColumn("l_ok", storage.NewInt32Col(lOK))
+	fact.MustAddColumn("l_pk", storage.NewInt32Col(lPK))
+	fact.MustAddColumn("l_extendedprice", storage.NewInt64Col(lPrice))
+	fact.MustAddColumn("l_discount", storage.NewFloat64Col(lDisc))
+	fact.MustAddFK("l_ok", order)
+	fact.MustAddFK("l_pk", part)
+	return fact
+}
+
+// NaiveRun is an independent brute-force SPJGA executor used as the
+// differential-testing oracle: tuple-at-a-time over the universal table
+// with map-based grouping — no selection vectors, no predicate vectors, no
+// measure index, no hash joins.
+func NaiveRun(root *storage.Table, q *query.Query) (*query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := schema.Build(root)
+	if err != nil {
+		return nil, err
+	}
+
+	type predEval struct {
+		match func(int32) bool
+		rowOf func(int32) int32
+	}
+	preds := make([]predEval, 0, len(q.Preds))
+	for _, p := range q.Preds {
+		b, err := g.Resolve(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		m, err := p.Matcher(b.Col)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, predEval{match: m, rowOf: b.RowAccessor()})
+	}
+
+	type keyEval struct {
+		col   storage.Column
+		rowOf func(int32) int32
+	}
+	keys := make([]keyEval, 0, len(q.GroupBy))
+	for _, name := range q.GroupBy {
+		b, err := g.Resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, keyEval{col: b.Col, rowOf: b.RowAccessor()})
+	}
+
+	evals := make([]func(int32) float64, len(q.Aggs))
+	for i, a := range q.Aggs {
+		if a.Expr == nil {
+			continue
+		}
+		ev, err := expr.Compile(a.Expr, func(name string) (func(int32) float64, error) {
+			b, err := g.Resolve(name)
+			if err != nil {
+				return nil, err
+			}
+			acc, err := expr.ColAccessor(b.Col)
+			if err != nil {
+				return nil, err
+			}
+			rowOf := b.RowAccessor()
+			return func(r int32) float64 { return acc(rowOf(r)) }, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = ev
+	}
+
+	type group struct {
+		keys  []query.Value
+		count int64
+		sums  []float64
+		mins  []float64
+		maxs  []float64
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	n := root.NumRows()
+rows:
+	for r := int32(0); r < int32(n); r++ {
+		if root.IsDeleted(int(r)) {
+			continue
+		}
+		for _, p := range preds {
+			if !p.match(p.rowOf(r)) {
+				continue rows
+			}
+		}
+		kvals := make([]query.Value, len(keys))
+		keyStr := ""
+		for i, k := range keys {
+			lr := int(k.rowOf(r))
+			if s, ok := storage.StringAt(k.col, lr); ok {
+				kvals[i] = query.StrValue(s)
+				keyStr += "s:" + s + "\x00"
+			} else {
+				v, _ := storage.Int64At(k.col, lr)
+				kvals[i] = query.NumValue(float64(v))
+				keyStr += fmt.Sprintf("n:%d\x00", v)
+			}
+		}
+		gr := groups[keyStr]
+		if gr == nil {
+			gr = &group{
+				keys: kvals,
+				sums: make([]float64, len(q.Aggs)),
+				mins: make([]float64, len(q.Aggs)),
+				maxs: make([]float64, len(q.Aggs)),
+			}
+			for i := range gr.mins {
+				gr.mins[i] = 1e308
+				gr.maxs[i] = -1e308
+			}
+			groups[keyStr] = gr
+			order = append(order, keyStr)
+		}
+		gr.count++
+		for i := range q.Aggs {
+			if evals[i] == nil {
+				continue
+			}
+			v := evals[i](r)
+			gr.sums[i] += v
+			if v < gr.mins[i] {
+				gr.mins[i] = v
+			}
+			if v > gr.maxs[i] {
+				gr.maxs[i] = v
+			}
+		}
+	}
+
+	res := &query.Result{
+		GroupCols: append([]string(nil), q.GroupBy...),
+		AggNames:  make([]string, len(q.Aggs)),
+	}
+	for i, a := range q.Aggs {
+		res.AggNames[i] = a.As
+	}
+	for _, ks := range order {
+		gr := groups[ks]
+		aggs := make([]float64, len(q.Aggs))
+		for i, a := range q.Aggs {
+			switch a.Kind {
+			case expr.Sum:
+				aggs[i] = gr.sums[i]
+			case expr.Count:
+				aggs[i] = float64(gr.count)
+			case expr.Avg:
+				aggs[i] = gr.sums[i] / float64(gr.count)
+			case expr.Min:
+				aggs[i] = gr.mins[i]
+			case expr.Max:
+				aggs[i] = gr.maxs[i]
+			}
+		}
+		res.Rows = append(res.Rows, query.Row{Keys: gr.keys, Aggs: aggs})
+	}
+	if err := res.Sort(q.OrderBy); err != nil {
+		return nil, err
+	}
+	res.Truncate(q.Limit)
+	return res, nil
+}
+
+// StarQueries is a battery of SPJGA queries exercising every feature
+// combination on the star fixture.
+func StarQueries() []*query.Query {
+	return []*query.Query{
+		query.New("count-all").Agg(expr.CountStar("n")),
+		query.New("global-sum").
+			Where(expr.IntBetween("f_discount", 1, 3), expr.IntLt("f_quantity", 25), expr.IntEq("d_year", 1993)).
+			Agg(expr.SumOf(expr.Mul(expr.C("f_extprice"), expr.C("f_discount")), "revenue")),
+		query.New("group-leaf").
+			Where(expr.StrEq("c_region", "ASIA")).
+			GroupByCols("c_nation", "d_year").
+			Agg(expr.SumOf(expr.C("f_revenue"), "revenue")).
+			OrderAsc("d_year").OrderDesc("revenue"),
+		query.New("group-root-num").
+			GroupByCols("f_discount").
+			Agg(expr.CountStar("cnt"), expr.SumOf(expr.C("f_revenue"), "rev")).
+			OrderAsc("f_discount"),
+		query.New("group-root-dict").
+			Where(expr.IntGe("f_quantity", 10)).
+			GroupByCols("f_tag").
+			Agg(expr.CountStar("cnt")).
+			OrderAsc("f_tag"),
+		query.New("mixed-dims").
+			Where(expr.StrIn("c_region", "ASIA", "EUROPE"), expr.IntBetween("d_year", 1993, 1996)).
+			GroupByCols("d_year", "c_region", "p_brand").
+			Agg(expr.SumOf(expr.Subtract(expr.C("f_revenue"), expr.C("f_supplycost")), "profit")).
+			OrderAsc("d_year").OrderDesc("profit"),
+		query.New("minmaxavg").
+			Where(expr.StrNe("c_region", "AFRICA")).
+			GroupByCols("c_region").
+			Agg(expr.MinOf(expr.C("f_revenue"), "lo"),
+				expr.MaxOf(expr.C("f_revenue"), "hi"),
+				expr.AvgOf(expr.C("f_revenue"), "mean")).
+			OrderAsc("c_region"),
+		query.New("leaf-measure").
+			Where(expr.IntLe("p_size", 10)).
+			GroupByCols("p_brand").
+			Agg(expr.SumOf(expr.C("c_balance"), "bal")).
+			OrderDesc("bal").WithLimit(5),
+		query.New("float-measure").
+			GroupByCols("d_month").
+			Agg(expr.SumOf(expr.Mul(expr.C("f_extprice"), expr.Subtract(expr.K(1), expr.C("f_frac"))), "disc_rev")).
+			OrderAsc("d_month"),
+		query.New("empty-result").
+			Where(expr.IntEq("d_year", 2050)).
+			GroupByCols("c_nation").
+			Agg(expr.CountStar("cnt")),
+		query.New("pred-on-group-table").
+			Where(expr.StrBetween("p_brand", "BRAND#2", "BRAND#5"), expr.IntEq("f_discount", 4)).
+			GroupByCols("p_brand").
+			Agg(expr.CountStar("cnt"), expr.AvgOf(expr.C("f_extprice"), "avg_price")).
+			OrderAsc("p_brand"),
+		query.New("limit-no-order").
+			GroupByCols("c_nation").
+			Agg(expr.CountStar("cnt")).WithLimit(3),
+	}
+}
+
+// SnowflakeQueries is a battery of SPJGA queries exercising multi-hop
+// reference paths on the snowflake fixture.
+func SnowflakeQueries() []*query.Query {
+	return []*query.Query{
+		query.New("q3-like").
+			Where(expr.StrEq("r_name", "ASIA"), expr.IntGe("o_price", 800)).
+			GroupByCols("n_name").
+			Agg(expr.SumOf(expr.Mul(expr.C("l_extendedprice"), expr.Subtract(expr.K(1), expr.C("l_discount"))), "revenue")).
+			OrderDesc("revenue"),
+		query.New("deep-group").
+			Where(expr.StrIn("c_mktsegment", "BUILDING", "MACHINERY")).
+			GroupByCols("r_name", "p_type").
+			Agg(expr.CountStar("cnt"), expr.SumOf(expr.C("l_extendedprice"), "rev")).
+			OrderAsc("r_name").OrderAsc("p_type"),
+		query.New("deep-pred-only").
+			Where(expr.StrEq("r_name", "EUROPE")).
+			Agg(expr.CountStar("cnt")),
+		query.New("mid-chain-measure").
+			Where(expr.StrEq("p_type", "TYPE3")).
+			GroupByCols("c_mktsegment").
+			Agg(expr.SumOf(expr.C("o_price"), "total")).
+			OrderAsc("c_mktsegment"),
+	}
+}
