@@ -1,4 +1,4 @@
-// Package astore is a main-memory OLAP engine for star and snowflake
+// Package astore is a main-memory OLAP database for star and snowflake
 // schemas built on virtual denormalization via array index reference (AIR),
 // reproducing "Virtual Denormalization via Array Index Reference for Main
 // Memory OLAP" (Zhang et al.).
@@ -16,6 +16,10 @@
 //
 // # Quick start
 //
+// The entry point is OpenDB: it registers every fact table of a catalog
+// and serves queries with snapshot isolation, plan caching, and context
+// cancellation.
+//
 //	dim := astore.NewTable("color")
 //	dim.MustAddColumn("name", astore.NewStrCol([]string{"red", "green"}))
 //
@@ -24,22 +28,37 @@
 //	fact.MustAddColumn("amount", astore.NewInt64Col([]int64{10, 20, 30}))
 //	fact.MustAddFK("color_fk", dim)
 //
-//	eng, _ := astore.Open(fact, astore.Options{})
-//	res, _ := eng.Run(astore.NewQuery("by-color").
-//		GroupByCols("name").
-//		Agg(astore.SumOf(astore.C("amount"), "total")).
-//		OrderAsc("name"))
+//	catalog := astore.NewDatabase()
+//	catalog.MustAdd(fact)
+//	catalog.MustAdd(dim)
+//
+//	db, _ := astore.OpenDB(catalog, astore.Options{})
+//	stmt, _ := db.PrepareSQL(
+//		`SELECT name, sum(amount) AS total FROM sales GROUP BY name ORDER BY name`)
+//	res, _ := stmt.Exec(context.Background())
 //	fmt.Print(res.Format())
 //
-// The subpackages under internal implement the storage model, the scan
-// variants of the paper's Table 6, the baseline engines used by the
-// benchmark harness, and the SSB/TPC-H/TPC-DS data generators; this package
-// re-exports the stable API.
+// Re-executing stmt skips planning while the tables are unmodified (the
+// compiled plan is cached and invalidated by table version counters), and
+// every execution pins a copy-on-write snapshot, so writers may insert,
+// update, and delete concurrently through the Table API.
+//
+// The builder API (NewQuery, predicates, aggregates) constructs the same
+// queries programmatically; DB.Prepare and DB.Run route them to the right
+// fact table by column resolution. The lower-level per-fact-table Open /
+// Engine.Run path remains for direct engine experiments (benchmark
+// variants, explain) but provides no snapshot isolation or plan cache.
+//
+// The subpackages under internal implement the storage model, the serving
+// layer, the scan variants of the paper's Table 6, the baseline engines
+// used by the benchmark harness, and the SSB/TPC-H/TPC-DS data generators;
+// this package re-exports the stable API.
 package astore
 
 import (
 	"astore/internal/baseline"
 	"astore/internal/core"
+	"astore/internal/db"
 	"astore/internal/expr"
 	"astore/internal/load"
 	"astore/internal/query"
@@ -97,11 +116,26 @@ type (
 	NumExpr = expr.NumExpr
 )
 
+// Database serving layer.
+type (
+	// DB serves SPJGA queries over every fact table of a catalog with
+	// routing, plan caching, snapshot-isolated execution, and context
+	// cancellation. Open one with OpenDB.
+	DB = db.DB
+	// Prepared is a routed, compiled query ready for repeated execution;
+	// re-execution skips planning while the tables are unmodified.
+	Prepared = db.Prepared
+	// DBStats are cumulative serving counters of a DB (plan-cache hits,
+	// misses, staleness recompiles, executions).
+	DBStats = db.Stats
+)
+
 // Engine.
 type (
 	// Engine executes SPJGA queries over a star/snowflake schema.
 	Engine = core.Engine
-	// Options configure an Engine.
+	// Options configure an Engine (and, through OpenDB, every engine of a
+	// DB).
 	Options = core.Options
 	// Stats reports per-phase timing and optimizer decisions of one run.
 	Stats = core.Stats
@@ -188,8 +222,22 @@ const (
 // NewLoader returns a CSV loader registering tables into db.
 func NewLoader(db *Database) *Loader { return load.NewLoader(db) }
 
+// OpenDB builds a database handle over the catalog: every fact table (a
+// table referenced by no other table) is registered with an engine over
+// the star/snowflake schema reachable from it. Queries are routed to the
+// right fact table, compiled plans are cached across executions, and every
+// execution runs against a pinned copy-on-write snapshot so writers can
+// mutate tables concurrently. The schema must not change after OpenDB;
+// table contents may.
+func OpenDB(catalog *Database, opt Options) (*DB, error) { return db.Open(catalog, opt) }
+
 // Open builds an engine over the star/snowflake schema reachable from the
 // root (fact) table.
+//
+// Deprecated: Open returns a bare per-fact-table engine with no snapshot
+// isolation, plan caching, or cancellation; it remains for benchmark
+// harnesses and variant experiments. New code should build a catalog and
+// use OpenDB.
 func Open(root *Table, opt Options) (*Engine, error) { return core.New(root, opt) }
 
 // Denormalize physically materializes the universal table (the baseline the

@@ -35,8 +35,8 @@ var (
 	benchWide *storage.Table
 )
 
-func benchData(b *testing.B) (*ssb.Data, *storage.Table) {
-	b.Helper()
+func benchData(tb testing.TB) (*ssb.Data, *storage.Table) {
+	tb.Helper()
 	benchOnce.Do(func() {
 		benchSSB = ssb.Generate(ssb.Config{SF: benchSF, Seed: 1})
 		var err error

@@ -4,6 +4,7 @@
 //	astore-bench -list
 //	astore-bench -exp table5 -sf 0.1
 //	astore-bench -exp all -sf 0.05 -workers 2 -runs 3
+//	astore-bench -exp table5 -sf 0.1 -json > BENCH_table5.json
 //
 // Absolute times depend on the host and the scale factor; the shapes (who
 // wins, by what factor, where crossovers fall) are the reproduction target.
@@ -11,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,19 @@ import (
 	"astore/internal/bench"
 )
 
+// jsonOutput is the machine-readable form of a bench run, stable enough to
+// record BENCH_*.json trajectories across revisions.
+type jsonOutput struct {
+	Config      bench.Config     `json:"config"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID      string          `json:"id"`
+	Title   string          `json:"title"`
+	Reports []*bench.Report `json:"reports"`
+}
+
 func main() {
 	var (
 		exp     = flag.String("exp", "all", "experiment id (fig1, table2, fig8, table3, table4, table5, fig9, fig10) or 'all'")
@@ -30,6 +45,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "data generation seed")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		asJSON  = flag.Bool("json", false, "emit one JSON document with every report (for recorded trajectories)")
 	)
 	flag.Parse()
 
@@ -49,6 +65,7 @@ func main() {
 	} else {
 		ids = strings.Split(*exp, ",")
 	}
+	out := jsonOutput{Config: cfg}
 	for _, id := range ids {
 		e, ok := bench.Find(strings.TrimSpace(id))
 		if !ok {
@@ -58,11 +75,19 @@ func main() {
 		// Isolate experiments from each other's heap history.
 		runtime.GC()
 		debug.FreeOSMemory()
-		fmt.Printf("# %s — %s\n", e.ID, e.Title)
+		if !*asJSON {
+			fmt.Printf("# %s — %s\n", e.ID, e.Title)
+		}
 		reports, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "astore-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		if *asJSON {
+			out.Experiments = append(out.Experiments, jsonExperiment{
+				ID: e.ID, Title: e.Title, Reports: reports,
+			})
+			continue
 		}
 		for _, r := range reports {
 			if *csv {
@@ -70,6 +95,14 @@ func main() {
 			} else {
 				fmt.Println(r.Format())
 			}
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "astore-bench:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -12,9 +12,11 @@ import (
 	"os"
 	"time"
 
+	"astore/internal/core"
 	"astore/internal/datagen/ssb"
 	"astore/internal/datagen/tpcds"
 	"astore/internal/datagen/tpch"
+	"astore/internal/db"
 	"astore/internal/storage"
 )
 
@@ -29,14 +31,14 @@ func main() {
 	flag.Parse()
 
 	t0 := time.Now()
-	var db *storage.Database
+	var catalog *storage.Database
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "astore-gen:", err)
 			os.Exit(1)
 		}
-		db, err = storage.LoadDatabase(f)
+		catalog, err = storage.LoadDatabase(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "astore-gen:", err)
@@ -46,11 +48,11 @@ func main() {
 	} else {
 		switch *schema {
 		case "ssb":
-			db = ssb.Generate(ssb.Config{SF: *sf, Seed: *seed}).DB
+			catalog = ssb.Generate(ssb.Config{SF: *sf, Seed: *seed}).DB
 		case "tpch":
-			db = tpch.Generate(tpch.Config{SF: *sf, Seed: *seed}).DB
+			catalog = tpch.Generate(tpch.Config{SF: *sf, Seed: *seed}).DB
 		case "tpcds":
-			db = tpcds.Generate(tpcds.Config{SF: *sf, Seed: *seed}).DB
+			catalog = tpcds.Generate(tpcds.Config{SF: *sf, Seed: *seed}).DB
 		default:
 			fmt.Fprintf(os.Stderr, "astore-gen: unknown schema %q\n", *schema)
 			os.Exit(2)
@@ -64,7 +66,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "astore-gen:", err)
 			os.Exit(1)
 		}
-		if err := db.Save(f); err != nil {
+		if err := catalog.Save(f); err != nil {
 			fmt.Fprintln(os.Stderr, "astore-gen:", err)
 			os.Exit(1)
 		}
@@ -77,7 +79,7 @@ func main() {
 		}
 	}
 
-	if err := db.ValidateAIR(); err != nil {
+	if err := catalog.ValidateAIR(); err != nil {
 		fmt.Fprintf(os.Stderr, "astore-gen: AIR validation failed: %v\n", err)
 		os.Exit(1)
 	}
@@ -85,7 +87,7 @@ func main() {
 	fmt.Printf("%s SF=%g generated in %v; AIR integrity OK\n\n", *schema, *sf, genTime.Round(time.Millisecond))
 	fmt.Printf("%-24s %12s %8s %12s  %s\n", "table", "rows", "cols", "bytes", "foreign keys")
 	var totalRows, totalBytes int64
-	for _, t := range db.Tables() {
+	for _, t := range catalog.Tables() {
 		fks := ""
 		for col, ref := range t.FKs() {
 			if fks != "" {
@@ -99,4 +101,19 @@ func main() {
 		totalBytes += t.MemBytes()
 	}
 	fmt.Printf("%-24s %12d %8s %12d\n", "TOTAL", totalRows, "", totalBytes)
+
+	// Register the catalog with the serving layer: this verifies each fact
+	// table's reachable schema builds into a valid join tree and reports
+	// the entry points a DB would serve.
+	d, err := db.Open(catalog, core.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "astore-gen: serving registration failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	for _, fact := range d.Facts() {
+		g := d.Engine(fact).Graph()
+		fmt.Printf("fact table %q serves %d reachable dimension table(s)\n",
+			fact, len(g.Leaves()))
+	}
 }

@@ -1,19 +1,26 @@
 // Command astore-sql is an interactive SQL shell over a generated benchmark
-// schema. Statements are the SPJGA subset A-Store executes; join conditions
-// are accepted and dropped (they live in the storage model as array index
-// references).
+// catalog, served through the astore.DB API: statements are routed to the
+// right fact table by their FROM clause, compiled plans are cached across
+// statements (re-running a query skips planning), every execution runs
+// against a copy-on-write snapshot, and Ctrl-C cancels a long scan instead
+// of killing the shell.
 //
 //	astore-sql -schema ssb -sf 0.05
 //	echo "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date
 //	      WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year" |
 //	  astore-sql -schema ssb
+//
+// Meta commands: \q quits, \stats prints the serving counters, EXPLAIN
+// prefixed to a statement prints its plan.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -31,17 +38,17 @@ func main() {
 	)
 	flag.Parse()
 
-	var root *astore.Table
+	var catalog *astore.Database
 	switch *schemaName {
 	case "ssb":
-		root = ssb.Generate(ssb.Config{SF: *sf, Seed: *seed}).Lineorder
+		catalog = ssb.Generate(ssb.Config{SF: *sf, Seed: *seed}).DB
 	case "tpch":
-		root = tpch.Generate(tpch.Config{SF: *sf, Seed: *seed}).Lineitem
+		catalog = tpch.Generate(tpch.Config{SF: *sf, Seed: *seed}).DB
 	default:
 		fmt.Fprintf(os.Stderr, "astore-sql: unknown schema %q\n", *schemaName)
 		os.Exit(2)
 	}
-	eng, err := astore.Open(root, astore.Options{Workers: *workers})
+	db, err := astore.OpenDB(catalog, astore.Options{Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "astore-sql:", err)
 		os.Exit(1)
@@ -49,9 +56,9 @@ func main() {
 
 	interactive := isTerminal()
 	if interactive {
-		fmt.Printf("A-Store SQL shell — %s SF=%g, fact table %q (%d rows)\n",
-			*schemaName, *sf, root.Name, root.NumRows())
-		fmt.Println(`end statements with a blank line; prefix with EXPLAIN for the plan; \q quits`)
+		fmt.Printf("A-Store SQL shell — %s SF=%g, fact table(s) %v\n",
+			*schemaName, *sf, db.Facts())
+		fmt.Println(`end statements with a blank line; prefix with EXPLAIN for the plan; \stats for counters; \q quits`)
 	}
 
 	in := bufio.NewScanner(os.Stdin)
@@ -76,22 +83,26 @@ func main() {
 			explain = true
 			text = text[len("explain "):]
 		}
-		q, err := astore.ParseQuery(text)
+		p, err := db.PrepareSQL(text)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return
 		}
 		if explain {
-			out, err := eng.Explain(q)
+			out, err := db.Engine(p.Fact()).Explain(p.Query())
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return
 			}
-			fmt.Print(out)
+			fmt.Printf("routed to fact table %q\n%s", p.Fact(), out)
 			return
 		}
+		// Ctrl-C cancels this statement at the next scan batch; the shell
+		// itself stays up.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		t0 := time.Now()
-		res, err := eng.Run(q)
+		res, err := p.Exec(ctx)
+		stop()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return
@@ -103,8 +114,15 @@ func main() {
 	prompt()
 	for in.Scan() {
 		line := in.Text()
-		if strings.TrimSpace(line) == `\q` {
+		switch strings.TrimSpace(line) {
+		case `\q`:
 			return
+		case `\stats`:
+			st := db.Stats()
+			fmt.Printf("prepares %d, execs %d, plan cache: %d hits, %d misses, %d stale recompiles\n",
+				st.Prepares, st.Execs, st.PlanHits, st.PlanMisses, st.PlanStale)
+			prompt()
+			continue
 		}
 		if strings.TrimSpace(line) == "" {
 			run(stmt.String())

@@ -9,20 +9,25 @@
 // airscan_c, airscan_c_p, airscan_c_p_g (the five variants of the paper's
 // Table 6), hashjoin (operator-at-a-time baseline), vector (vectorized
 // pipeline baseline), denorm (A-Store over the physically denormalized
-// universal table).
+// universal table). The A-Store variants are served through the astore.DB
+// layer, so repeated runs of a query reuse its cached plan.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"astore/internal/baseline"
 	"astore/internal/core"
 	"astore/internal/datagen/ssb"
+	"astore/internal/db"
 	"astore/internal/query"
+	"astore/internal/storage"
 )
 
 func main() {
@@ -42,7 +47,11 @@ func main() {
 	data := ssb.Generate(ssb.Config{SF: *sf, Seed: *seed})
 	fmt.Printf("generated %d lineorder rows in %v\n", data.Lineorder.NumRows(), time.Since(t0).Round(time.Millisecond))
 
-	run, err := makeEngine(*engine, data, *workers)
+	// Ctrl-C cancels the running query through the DB-served engines.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	run, err := makeEngine(ctx, *engine, data, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "astore-ssb:", err)
 		os.Exit(2)
@@ -90,7 +99,10 @@ func main() {
 		float64(total.Nanoseconds())/1e6/float64(len(queries)), len(queries), *engine)
 }
 
-func makeEngine(name string, data *ssb.Data, workers int) (func(*query.Query) (*query.Result, error), error) {
+// makeEngine builds the chosen engine behind a run function. The A-Store
+// variants are served through the db layer: repeated runs of one query hit
+// the plan cache, and executions are snapshot-isolated and cancellable.
+func makeEngine(ctx context.Context, name string, data *ssb.Data, workers int) (func(*query.Query) (*query.Result, error), error) {
 	variants := map[string]core.Variant{
 		"astore":        core.Auto,
 		"airscan_r":     core.RowWise,
@@ -99,12 +111,21 @@ func makeEngine(name string, data *ssb.Data, workers int) (func(*query.Query) (*
 		"airscan_c_p":   core.ColWisePF,
 		"airscan_c_p_g": core.ColWisePFG,
 	}
-	if v, ok := variants[strings.ToLower(name)]; ok {
-		eng, err := core.New(data.Lineorder, core.Options{Variant: v, Workers: workers})
+	dbRunner := func(catalog *storage.Database, opt core.Options) (func(*query.Query) (*query.Result, error), error) {
+		d, err := db.Open(catalog, opt)
 		if err != nil {
 			return nil, err
 		}
-		return eng.Run, nil
+		return func(q *query.Query) (*query.Result, error) {
+			p, err := d.Prepare(q)
+			if err != nil {
+				return nil, err
+			}
+			return p.Exec(ctx)
+		}, nil
+	}
+	if v, ok := variants[strings.ToLower(name)]; ok {
+		return dbRunner(data.DB, core.Options{Variant: v, Workers: workers})
 	}
 	switch strings.ToLower(name) {
 	case "hashjoin":
@@ -116,11 +137,9 @@ func makeEngine(name string, data *ssb.Data, workers int) (func(*query.Query) (*
 		if err != nil {
 			return nil, err
 		}
-		eng, err := core.New(wide, core.Options{Workers: workers})
-		if err != nil {
-			return nil, err
-		}
-		return eng.Run, nil
+		catalog := storage.NewDatabase()
+		catalog.MustAdd(wide)
+		return dbRunner(catalog, core.Options{Workers: workers})
 	}
 	return nil, fmt.Errorf("unknown engine %q", name)
 }

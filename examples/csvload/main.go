@@ -2,12 +2,14 @@
 // input CSVs carry natural primary and foreign keys (as any external
 // dataset does); the loader drops the primary keys — the array index takes
 // their place — and rewrites the foreign keys to array index references,
-// which is the transformation that makes virtual denormalization work.
+// which is the transformation that makes virtual denormalization work. The
+// loaded catalog is then served through the astore.DB API.
 //
 //	go run ./examples/csvload
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -31,8 +33,8 @@ const ordersCSV = `order_id,city_id,amount
 `
 
 func main() {
-	db := astore.NewDatabase()
-	ld := astore.NewLoader(db)
+	catalog := astore.NewDatabase()
+	ld := astore.NewLoader(catalog)
 
 	// Dimensions first: their Key columns feed the FK rewriting.
 	if _, err := ld.LoadCSV(strings.NewReader(citiesCSV), "city", []astore.ColumnSpec{
@@ -50,20 +52,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := db.ValidateAIR(); err != nil {
+	if err := catalog.ValidateAIR(); err != nil {
 		log.Fatal(err)
 	}
 	fk := orders.Column("o_city").(*astore.Int32Col)
 	fmt.Printf("natural city_ids {42,17,42,07,17} became array indexes %v\n\n", fk.V)
 
-	eng, err := astore.Open(orders, astore.Options{})
+	// OpenDB finds the fact table ("orders": nothing references it) and
+	// serves SQL routed by the FROM clause.
+	db, err := astore.OpenDB(catalog, astore.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := eng.Run(astore.NewQuery("by-city").
-		GroupByCols("name", "country").
-		Agg(astore.SumOf(astore.C("amount"), "total"), astore.CountStar("orders")).
-		OrderDesc("total"))
+	res, err := db.RunSQL(context.Background(), `
+		SELECT name, country, sum(amount) AS total, count(*) AS orders
+		FROM orders, city
+		GROUP BY name, country
+		ORDER BY total DESC`)
 	if err != nil {
 		log.Fatal(err)
 	}

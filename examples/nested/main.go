@@ -1,7 +1,8 @@
 // Nested-query example: §3 of the paper notes that benchmarks contain
 // nested queries whose join graphs are not single rooted; A-Store handles
 // them by decomposing the graph into single-rooted subgraphs and pipelining
-// the pieces. This example runs such a decomposition by hand:
+// the pieces. This example runs such a decomposition by hand through the
+// astore.DB serving API:
 //
 //	Q: for customers from nations whose total revenue exceeds the average
 //	   nation revenue, report revenue by nation.
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,13 +25,15 @@ import (
 
 func main() {
 	data := ssb.Generate(ssb.Config{SF: 0.01, Seed: 3})
-	eng, err := astore.Open(data.Lineorder, astore.Options{})
+	db, err := astore.OpenDB(data.DB, astore.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
-	// Stage 1 (inner subquery): revenue per customer nation.
-	inner, err := eng.Run(astore.NewQuery("inner").
+	// Stage 1 (inner subquery): revenue per customer nation. The query is
+	// routed to the lineorder fact table by column resolution.
+	inner, err := db.Run(ctx, astore.NewQuery("inner").
 		GroupByCols("c_nation").
 		Agg(astore.SumOf(astore.C("lo_revenue"), "revenue")))
 	if err != nil {
@@ -54,7 +58,7 @@ func main() {
 	// Stage 3 (outer query): the inner result becomes an IN predicate — the
 	// pipelined subgraph feeds the outer scan, which still runs as one pass
 	// over the universal table.
-	outer, err := eng.Run(astore.NewQuery("outer").
+	outer, err := db.Run(ctx, astore.NewQuery("outer").
 		Where(astore.StrIn("c_nation", hot...)).
 		GroupByCols("c_nation", "d_year").
 		Agg(astore.SumOf(astore.C("lo_revenue"), "revenue"), astore.CountStar("orders")).

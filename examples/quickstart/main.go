@@ -1,10 +1,12 @@
 // Quickstart: build a tiny star schema with the public API, wire foreign
-// keys as array index references, and run a SPJGA query.
+// keys as array index references, open a database handle over the catalog,
+// and serve SPJGA queries — prepared SQL and the builder form.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,14 +41,40 @@ func main() {
 	sales.MustAddFK("fk_product", product)
 	sales.MustAddFK("fk_store", store)
 
-	eng, err := astore.Open(sales, astore.Options{})
+	// The catalog is the database: OpenDB registers every fact table (here
+	// just "sales") and serves queries with snapshot isolation and plan
+	// caching.
+	catalog := astore.NewDatabase()
+	catalog.MustAdd(product)
+	catalog.MustAdd(store)
+	catalog.MustAdd(sales)
+	db, err := astore.OpenDB(catalog, astore.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
-	// Revenue by city for milk-based drinks, largest first. The predicate
-	// on p_category and the grouping column s_city live on different
-	// dimension tables; the engine reaches both through AIR.
+	// Revenue by city for milk-based drinks, largest first, as SQL. The
+	// predicate on p_category and the grouping column s_city live on
+	// different dimension tables; the engine reaches both through AIR, and
+	// the FROM clause routes the statement to the "sales" fact table.
+	stmt, err := db.PrepareSQL(`
+		SELECT s_city, sum(units * price) AS revenue, count(*) AS sales
+		FROM sales, product, store
+		WHERE p_category = 'milk'
+		GROUP BY s_city
+		ORDER BY revenue DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := stmt.Exec(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+
+	// The builder form of the same query routes by column resolution and
+	// shares the DB's plan cache. Re-execution skips planning entirely.
 	q := astore.NewQuery("milk-revenue-by-city").
 		Where(astore.StrEq("p_category", "milk")).
 		GroupByCols("s_city").
@@ -55,10 +83,13 @@ func main() {
 			astore.CountStar("sales"),
 		).
 		OrderDesc("revenue")
-
-	res, err := eng.Run(q)
-	if err != nil {
+	if _, err := db.Run(ctx, q); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(res.Format())
+	if _, err := stmt.Exec(ctx); err != nil {
+		log.Fatal(err)
+	}
+	st := db.Stats()
+	fmt.Printf("\nplan cache: %d hits, %d misses (the second Exec reused the compiled plan)\n",
+		st.PlanHits, st.PlanMisses)
 }

@@ -1,13 +1,16 @@
-// Realtime example: A-Store's update machinery (§4.4) under an OLAP
-// workload — append-only inserts with slot reuse, lazy deletion vectors,
-// in-place updates, snapshot-isolated readers (column-granularity
-// copy-on-write), and consolidation that compacts a dimension while
-// rewriting every array index reference to it.
+// Realtime example: A-Store's update machinery (§4.4) under a live OLAP
+// serving workload — append-only inserts with slot reuse, lazy deletion
+// vectors, in-place updates, and consolidation that compacts a dimension
+// while rewriting every array index reference to it. Queries are served
+// through the astore.DB API concurrently with the writes: every execution
+// pins a copy-on-write snapshot, so readers always observe one consistent
+// database state and never block the writer.
 //
 //	go run ./examples/realtime
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -37,42 +40,43 @@ func main() {
 	readings.MustAddColumn("r_celsius", astore.NewInt64Col(val))
 	readings.MustAddFK("r_sensor", sensor)
 
-	db := astore.NewDatabase()
-	db.MustAdd(sensor)
-	db.MustAdd(readings)
+	catalog := astore.NewDatabase()
+	catalog.MustAdd(sensor)
+	catalog.MustAdd(readings)
 
-	eng, err := astore.Open(readings, astore.Options{})
+	db, err := astore.OpenDB(catalog, astore.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	byRoom := astore.NewQuery("avg-by-room").
+	ctx := context.Background()
+	byRoom, err := db.Prepare(astore.NewQuery("avg-by-room").
 		GroupByCols("s_room").
 		Agg(astore.AvgOf(astore.C("r_celsius"), "avg_c"), astore.CountStar("n")).
-		OrderAsc("s_room")
+		OrderAsc("s_room"))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	res, err := eng.Run(byRoom)
+	res, err := byRoom.Exec(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("before updates:")
 	fmt.Print(res.Format())
 
-	// 1. Snapshot-isolated reader: a snapshot pins the current version;
-	//    concurrent writes trigger column-granularity copy-on-write.
-	snap := readings.Snapshot()
+	// 1. Snapshot-isolated readers run through the DB *while* the writer
+	//    mutates: each Exec pins the current version; concurrent writes
+	//    trigger column-granularity copy-on-write and invalidate the
+	//    cached plan by version counter, never corrupting a running scan.
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		col := snap.Column("r_celsius").(*astore.Int64Col)
-		var sum int64
-		for i := 0; i < snap.NumRows(); i++ {
-			if !snap.IsDeleted(i) {
-				sum += col.V[i]
+		for i := 0; i < 50; i++ {
+			if _, err := byRoom.Exec(ctx); err != nil {
+				log.Fatal(err)
 			}
 		}
-		fmt.Printf("\nsnapshot reader: stable sum %d over %d rows (writes invisible)\n",
-			sum, snap.NumRows())
 	}()
 
 	// 2. Writer: in-place updates, appends, lazy deletes.
@@ -94,7 +98,9 @@ func main() {
 		}
 	}
 	wg.Wait()
-	snap.Release()
+	st := db.Stats()
+	fmt.Printf("\nserved %d snapshot-isolated queries during the writes "+
+		"(plan cache: %d hits, %d stale recompiles)\n", st.Execs, st.PlanHits, st.PlanStale)
 
 	// 3. A deleted slot is reused by the next insert (the array index is a
 	//    surrogate key with no semantic meaning, so reuse is safe).
@@ -107,7 +113,7 @@ func main() {
 	fmt.Printf("insert after deletes reused slot %d (no array growth: %d physical rows)\n",
 		row, readings.NumRows())
 
-	res, err = eng.Run(byRoom)
+	res, err = byRoom.Exec(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -116,7 +122,9 @@ func main() {
 
 	// 4. Consolidation: retire the roof sensor. First retarget its
 	//    readings, then delete the dimension row, then compact — every FK
-	//    is rewritten to the renumbered indexes.
+	//    is rewritten to the renumbered indexes. Consolidate refuses to run
+	//    while snapshots pin the tables; with no query in flight, all pins
+	//    are released and it proceeds.
 	rs := readings.Column("r_sensor").(*astore.Int32Col)
 	for i, v := range rs.V {
 		if v == 4 && !readings.IsDeleted(i) {
@@ -128,14 +136,14 @@ func main() {
 	if err := sensor.Delete(4); err != nil {
 		log.Fatal(err)
 	}
-	remap, err := astore.Consolidate(db, sensor)
+	remap, err := astore.Consolidate(catalog, sensor)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nconsolidated sensor table: remap %v, %d rows remain\n",
 		remap, sensor.NumRows())
 
-	res, err = eng.Run(byRoom)
+	res, err = byRoom.Exec(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

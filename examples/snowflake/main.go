@@ -2,19 +2,21 @@
 // lineitem -> orders -> customer -> nation -> region; a predicate on the
 // deepest table (region) is folded by the optimizer into a single predicate
 // vector on the first-level dimension, so the 4-hop snowflake join costs
-// one bit probe per fact row.
+// one bit probe per fact row. The catalog is served through astore.DB: the
+// first execution compiles and caches the plan, the second skips planning.
 //
 //	go run ./examples/snowflake
 //	go run ./examples/snowflake -sf 0.02 -budget 100
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"astore/internal/core"
+	"astore"
 	"astore/internal/datagen/tpch"
 )
 
@@ -22,27 +24,30 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	budget := flag.Int("budget", 0, "predicate-vector cache budget in rows (0 = default 32M)")
 	flag.Parse()
+	ctx := context.Background()
 
 	data := tpch.Generate(tpch.Config{SF: *sf, Seed: 7})
 	fmt.Printf("TPC-H subset at SF=%g: lineitem %d, orders %d, customer %d, nation %d, region %d\n\n",
 		*sf, data.Lineitem.NumRows(), data.Orders.NumRows(),
 		data.Customer.NumRows(), data.Nation.NumRows(), data.Region.NumRows())
 
-	opt := core.Options{Variant: core.Auto}
+	opt := astore.Options{Variant: astore.VariantAuto}
 	if *budget > 0 {
 		opt.PrefilterMaxRows = *budget
 	}
-	eng, err := core.New(data.Lineitem, opt)
+	db, err := astore.OpenDB(data.DB, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Show the reference paths the engine discovered.
-	g := eng.Graph()
-	fmt.Println("reference paths from the root:")
+	// Show the reference paths the serving layer discovered for its fact
+	// table.
+	fact := db.Facts()[0]
+	g := db.Engine(fact).Graph()
+	fmt.Printf("reference paths from the fact table %q:\n", fact)
 	for _, t := range g.Leaves() {
 		path, _ := g.PathTo(t)
-		line := "  lineitem"
+		line := "  " + fact
 		for _, s := range path {
 			line += " -> " + s.To.Name
 		}
@@ -50,16 +55,19 @@ func main() {
 	}
 	fmt.Println()
 
-	q := tpch.Q3()
-	var st core.Stats
+	stmt, err := db.Prepare(tpch.Q3())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st astore.Stats
 	t0 := time.Now()
-	res, err := eng.RunWithStats(q, &st)
+	res, err := stmt.ExecStats(ctx, &st)
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(t0)
 
-	fmt.Printf("%s (%v):\n%s\n", q.Name, elapsed.Round(time.Microsecond), res.Format())
+	fmt.Printf("%s (%v):\n%s\n", stmt.Query().Name, elapsed.Round(time.Microsecond), res.Format())
 	fmt.Printf("optimizer: predicate vectors on %v (the region filter was folded down the chain)\n",
 		st.PrefilterTables)
 	fmt.Printf("stages: leaf %.2fms, scan+mindex %.2fms, aggregation %.2fms; %d of %d rows selected\n",
@@ -70,4 +78,14 @@ func main() {
 	} else {
 		fmt.Println("aggregation fell back to the hash table (sparse group domain).")
 	}
+
+	// Re-execution skips planning: the compiled plan — including the folded
+	// predicate vector — is reused from the DB's plan cache.
+	t1 := time.Now()
+	if _, err := stmt.Exec(ctx); err != nil {
+		log.Fatal(err)
+	}
+	dbStats := db.Stats()
+	fmt.Printf("\nre-execution: %v (plan-cache hits %d, misses %d)\n",
+		time.Since(t1).Round(time.Microsecond), dbStats.PlanHits, dbStats.PlanMisses)
 }

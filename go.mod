@@ -1,0 +1,3 @@
+module astore
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -92,23 +93,129 @@ func (e *Engine) Run(q *query.Query) (*query.Result, error) {
 // RunWithStats executes a query and, if stats is non-nil, fills it with
 // per-phase timing and optimizer decisions.
 func (e *Engine) RunWithStats(q *query.Query, stats *Stats) (*query.Result, error) {
+	return e.RunContext(context.Background(), q, stats)
+}
+
+// RunContext plans and executes a query against the engine's live tables,
+// honoring ctx cancellation at scan-batch boundaries. For execution that is
+// isolated from concurrent writers, acquire a View and execute a Compiled
+// plan instead (that is what the db layer's Prepared queries do).
+func (e *Engine) RunContext(ctx context.Context, q *query.Query, stats *Stats) (*query.Result, error) {
 	pl, err := e.plan(q)
 	if err != nil {
 		return nil, err
 	}
-	pl.stats.LeafNS = pl.leafNS
+	return e.exec(ctx, pl, stats)
+}
+
+// exec runs a compiled plan with fresh per-run state.
+func (e *Engine) exec(ctx context.Context, pl *plan, stats *Stats) (*query.Result, error) {
+	rs := &runState{stats: pl.stats}
+	rs.stats.LeafNS = pl.leafNS
 
 	var res *query.Result
+	var err error
 	if pl.variant.rowWise() {
-		res, err = e.runRowWise(pl)
+		res, err = pl.runRowWise(ctx, rs)
 	} else {
-		res, err = e.runColumnar(pl)
+		res, err = pl.runColumnar(ctx, rs)
 	}
 	if err != nil {
 		return nil, err
 	}
 	if stats != nil {
-		*stats = pl.stats
+		*stats = rs.stats
 	}
 	return res, nil
+}
+
+// View is a pinned, consistent snapshot of every table reachable from the
+// engine's root: frozen column arrays, a join graph over the frozen tables,
+// and the per-table versions at pin time. While a View is held, writers
+// copy-on-write instead of mutating shared arrays, so plans compiled on the
+// View read a stable database state. Release must be called on every exit
+// path so the tables' pin counts return to zero.
+type View struct {
+	eng      *Engine
+	root     *storage.Table
+	graph    *schema.Graph // built lazily: only a Compile needs it
+	versions map[string]uint64
+	release  func()
+}
+
+// Acquire pins a snapshot of the engine's reachable tables and returns the
+// View. The caller must Release it. The view's join graph is built lazily
+// on first Compile, so executions that reuse a cached plan pay only the
+// snapshot pin and the version stamps.
+func (e *Engine) Acquire() (*View, error) {
+	frozen, release := storage.SnapshotSet(e.graph.Tables())
+	versions := make(map[string]uint64, len(frozen))
+	for live, f := range frozen {
+		versions[live.Name] = f.Version()
+	}
+	return &View{eng: e, root: frozen[e.root], versions: versions, release: release}, nil
+}
+
+// Release unpins the view's snapshots. It is idempotent.
+func (v *View) Release() {
+	if v.release != nil {
+		v.release()
+		v.release = nil
+	}
+}
+
+// Versions returns the per-table mutation counters observed at pin time.
+func (v *View) Versions() map[string]uint64 { return v.versions }
+
+// Compiled is a fully planned query that can be executed many times, by
+// many goroutines concurrently. It captures the column arrays, predicate
+// vectors, and group vectors of the state it was compiled against, plus the
+// table versions of that state: the plan is valid for execution exactly
+// while a pinned View reports the same versions (copy-on-write guarantees
+// equal versions mean identical arrays).
+type Compiled struct {
+	pl       *plan
+	versions map[string]uint64
+}
+
+// Compile plans q against the view's frozen tables. A View is used by one
+// goroutine (the executing query), so the lazy graph build is unsynchronized.
+func (v *View) Compile(q *query.Query) (*Compiled, error) {
+	if v.graph == nil {
+		g, err := schema.Build(v.root)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot schema: %w", err)
+		}
+		v.graph = g
+	}
+	pl, err := v.eng.planOn(q, v.root, v.graph)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{pl: pl, versions: v.versions}, nil
+}
+
+// Versions returns the per-table versions the plan was compiled at.
+func (c *Compiled) Versions() map[string]uint64 { return c.versions }
+
+// FreshIn reports whether the compiled plan is still valid for execution
+// under the given view: every table the plan can read is at the version it
+// was compiled at.
+func (c *Compiled) FreshIn(v *View) bool {
+	if len(c.versions) != len(v.versions) {
+		return false
+	}
+	for name, ver := range c.versions {
+		if got, ok := v.versions[name]; !ok || got != ver {
+			return false
+		}
+	}
+	return true
+}
+
+// Exec executes a compiled plan. The caller is responsible for holding a
+// View in which the plan is fresh (FreshIn) for the duration of the call;
+// ctx cancellation is honored at scan-batch boundaries.
+func (e *Engine) Exec(ctx context.Context, c *Compiled, stats *Stats) (*query.Result, error) {
+	return e.exec(ctx, c.pl, stats)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"sync"
 	"time"
@@ -9,6 +10,14 @@ import (
 	"astore/internal/expr"
 	"astore/internal/query"
 )
+
+// runState is the mutable per-execution state of one plan run. It is
+// separate from the plan so that a cached, compiled plan can be executed by
+// many goroutines concurrently: the plan stays read-only after compilation
+// and every execution accumulates timing into its own runState.
+type runState struct {
+	stats Stats
+}
 
 // span is one horizontal partition of the root (fact) table. The engine
 // over-partitions (Workers × PartitionsPerWorker spans) and lets workers
@@ -71,36 +80,57 @@ func (pl *plan) newPartial() (*partial, error) {
 	return p, nil
 }
 
+// spanCount returns the number of spans for the scan: enough for the
+// over-partitioned parallel schedule, and enough that no span exceeds the
+// batch-row bound, which is the granularity of cancellation checks.
+func (pl *plan) spanCount() int {
+	count := pl.opt.Workers * pl.opt.PartitionsPerWorker
+	if batches := (pl.rootN + pl.opt.BatchRows - 1) / pl.opt.BatchRows; batches > count {
+		count = batches
+	}
+	return count
+}
+
 // runColumnar executes the plan with the vector-based column-wise scan
 // (§4.1), in parallel when Workers > 1.
-func (e *Engine) runColumnar(pl *plan) (*query.Result, error) {
-	spans := makeSpans(pl.rootN, pl.opt.Workers*pl.opt.PartitionsPerWorker)
+func (pl *plan) runColumnar(ctx context.Context, rs *runState) (*query.Result, error) {
+	spans := makeSpans(pl.rootN, pl.spanCount())
 	process := func(p *partial, sp span) { pl.processSpanColumnar(p, sp) }
-	total, err := pl.runParallel(spans, process)
+	total, err := pl.runParallel(ctx, spans, process, rs)
 	if err != nil {
 		return nil, err
 	}
-	return pl.extract(total)
+	return pl.extract(total, rs)
 }
 
 // runParallel drives workers over the span queue and merges their partials.
-func (pl *plan) runParallel(spans []span, process func(*partial, span)) (*partial, error) {
+// Cancellation is checked between spans: a cancelled context makes every
+// worker stop at its next span boundary and the run returns ctx.Err() with
+// all pooled aggregation arrays returned.
+func (pl *plan) runParallel(ctx context.Context, spans []span, process func(*partial, span), rs *runState) (*partial, error) {
 	workers := pl.opt.Workers
 	if workers > len(spans) {
 		workers = len(spans)
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		p, err := pl.newPartial()
 		if err != nil {
 			return nil, err
 		}
 		for _, sp := range spans {
+			if done != nil {
+				if err := ctx.Err(); err != nil {
+					pl.eng.putArray(p.arr)
+					return nil, err
+				}
+			}
 			process(p, sp)
 		}
-		pl.stats.ScanNS += p.scanNS
-		pl.stats.AggNS += p.aggNS
-		pl.stats.RowsScanned += p.scanned
-		pl.stats.RowsSelected += p.selected
+		rs.stats.ScanNS += p.scanNS
+		rs.stats.AggNS += p.aggNS
+		rs.stats.RowsScanned += p.scanned
+		rs.stats.RowsSelected += p.selected
 		return p, nil
 	}
 
@@ -112,11 +142,12 @@ func (pl *plan) runParallel(spans []span, process func(*partial, span)) (*partia
 
 	partials := make([]*partial, workers)
 	var wg sync.WaitGroup
-	var firstErr error
-	var mu sync.Mutex
 	for w := 0; w < workers; w++ {
 		p, err := pl.newPartial()
 		if err != nil {
+			for _, prev := range partials[:w] {
+				pl.eng.putArray(prev.arr)
+			}
 			return nil, err
 		}
 		partials[w] = p
@@ -124,21 +155,32 @@ func (pl *plan) runParallel(spans []span, process func(*partial, span)) (*partia
 		go func(p *partial) {
 			defer wg.Done()
 			for sp := range queue {
+				if done != nil && ctx.Err() != nil {
+					return
+				}
 				process(p, sp)
 			}
 		}(p)
 	}
 	wg.Wait()
 
+	if done != nil {
+		if err := ctx.Err(); err != nil {
+			for _, p := range partials {
+				pl.eng.putArray(p.arr)
+			}
+			return nil, err
+		}
+	}
+
 	// Merge worker partials into the first one; merged arrays go back to
 	// the engine's pool.
 	total := partials[0]
+	var firstErr error
 	for _, p := range partials[1:] {
 		if p.arr != nil {
-			if err := total.arr.Merge(p.arr); err != nil {
-				mu.Lock()
+			if err := total.arr.Merge(p.arr); err != nil && firstErr == nil {
 				firstErr = err
-				mu.Unlock()
 			}
 			pl.eng.putArray(p.arr)
 		} else {
@@ -150,14 +192,15 @@ func (pl *plan) runParallel(spans []span, process func(*partial, span)) (*partia
 		total.selected += p.selected
 	}
 	if firstErr != nil {
+		pl.eng.putArray(total.arr)
 		return nil, firstErr
 	}
 	// Attribute per-phase time as wall-clock estimate: sum across workers
 	// divided by the worker count.
-	pl.stats.ScanNS += total.scanNS / int64(workers)
-	pl.stats.AggNS += total.aggNS / int64(workers)
-	pl.stats.RowsScanned += total.scanned
-	pl.stats.RowsSelected += total.selected
+	rs.stats.ScanNS += total.scanNS / int64(workers)
+	rs.stats.AggNS += total.aggNS / int64(workers)
+	rs.stats.RowsScanned += total.scanned
+	rs.stats.RowsSelected += total.selected
 	return total, nil
 }
 
@@ -535,7 +578,7 @@ func (pl *plan) aggregateHash(p *partial, sel []int32) {
 }
 
 // extract converts the merged aggregation state into an ordered result.
-func (pl *plan) extract(total *partial) (*query.Result, error) {
+func (pl *plan) extract(total *partial, rs *runState) (*query.Result, error) {
 	t0 := time.Now()
 	res := &query.Result{
 		GroupCols: append([]string(nil), pl.q.GroupBy...),
@@ -566,12 +609,12 @@ func (pl *plan) extract(total *partial) (*query.Result, error) {
 			res.Rows = append(res.Rows, query.Row{Keys: keys, Aggs: c.Vals})
 		}
 	}
-	pl.stats.Groups = len(res.Rows)
+	rs.stats.Groups = len(res.Rows)
 
 	if err := res.Sort(pl.q.OrderBy); err != nil {
 		return nil, err
 	}
 	res.Truncate(pl.q.Limit)
-	pl.stats.AggNS += time.Since(t0).Nanoseconds()
+	rs.stats.AggNS += time.Since(t0).Nanoseconds()
 	return res, nil
 }

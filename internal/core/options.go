@@ -96,6 +96,11 @@ type Options struct {
 	// MaxArrayGroups is the optimizer's bound on aggregation-array cells;
 	// beyond it, Auto falls back to hash aggregation. Default 1M cells.
 	MaxArrayGroups int
+	// BatchRows caps the number of root rows per scan batch. Context
+	// cancellation is honored between batches in both the columnar and the
+	// row-wise paths, so smaller batches cancel more promptly at a small
+	// scheduling cost. Default 64K rows.
+	BatchRows int
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +115,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxArrayGroups == 0 {
 		o.MaxArrayGroups = 1 << 20
+	}
+	if o.BatchRows < 1 {
+		o.BatchRows = 1 << 16
 	}
 	return o
 }

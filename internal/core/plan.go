@@ -148,6 +148,7 @@ type plan struct {
 	variant Variant
 	opt     Options
 	eng     *Engine
+	graph   *schema.Graph // join graph the plan was resolved against
 
 	root    *storage.Table
 	rootN   int
@@ -171,10 +172,16 @@ type plan struct {
 // resolveVariant maps Auto to its concrete executor.
 func resolveVariant(v Variant) Variant { return v }
 
-// plan compiles q against the engine's schema, building predicate vectors,
-// group vectors, and aggregate evaluators. This is the "leaf processing"
-// phase of Fig. 10.
+// plan compiles q against the engine's live schema. This is the "leaf
+// processing" phase of Fig. 10.
 func (e *Engine) plan(q *query.Query) (*plan, error) {
+	return e.planOn(q, e.root, e.graph)
+}
+
+// planOn compiles q against an explicit root and join graph — the engine's
+// live tables, or the frozen tables of a pinned View — building predicate
+// vectors, group vectors, and aggregate evaluators.
+func (e *Engine) planOn(q *query.Query, root *storage.Table, g *schema.Graph) (*plan, error) {
 	start := time.Now()
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -184,21 +191,22 @@ func (e *Engine) plan(q *query.Query) (*plan, error) {
 		variant: e.opt.Variant,
 		opt:     e.opt,
 		eng:     e,
-		root:    e.root,
-		rootN:   e.root.NumRows(),
-		rootDel: e.root.Deleted(),
+		graph:   g,
+		root:    root,
+		rootN:   root.NumRows(),
+		rootDel: root.Deleted(),
 	}
 
-	if err := e.planFilters(pl); err != nil {
+	if err := pl.planFilters(); err != nil {
 		return nil, err
 	}
-	if err := e.planGroupDims(pl); err != nil {
+	if err := pl.planGroupDims(); err != nil {
 		return nil, err
 	}
-	if err := e.planAggs(pl); err != nil {
+	if err := pl.planAggs(); err != nil {
 		return nil, err
 	}
-	e.decideAggBackend(pl)
+	pl.decideAggBackend()
 
 	pl.leafNS = time.Since(start).Nanoseconds()
 	return pl, nil
@@ -207,14 +215,14 @@ func (e *Engine) plan(q *query.Query) (*plan, error) {
 // usePrefilter decides whether a predicate vector for table t fits the
 // cache budget (§4.2: "an optimizer is used to decide whether to use
 // predicate vectors, according to the row number of each table").
-func (e *Engine) usePrefilter(t *storage.Table) bool {
-	return e.opt.Variant.usesPrefilters() && t.NumRows() <= e.opt.PrefilterMaxRows
+func (pl *plan) usePrefilter(t *storage.Table) bool {
+	return pl.opt.Variant.usesPrefilters() && t.NumRows() <= pl.opt.PrefilterMaxRows
 }
 
 // planFilters resolves predicates, builds per-table predicate vectors,
 // folds snowflake chains into first-level dimensions where the budget
 // allows, and orders all filters most-selective-first.
-func (e *Engine) planFilters(pl *plan) error {
+func (pl *plan) planFilters() error {
 	type tablePreds struct {
 		binding *schema.Binding // any binding of this table (for the path)
 		preds   []expr.Pred
@@ -224,7 +232,7 @@ func (e *Engine) planFilters(pl *plan) error {
 	var tableOrder []*storage.Table
 
 	for _, p := range pl.q.Preds {
-		b, err := e.graph.Resolve(p.Col)
+		b, err := pl.graph.Resolve(p.Col)
 		if err != nil {
 			return err
 		}
@@ -251,7 +259,7 @@ func (e *Engine) planFilters(pl *plan) error {
 	// Build predicate vectors for tables within the cache budget.
 	vecs := make(map[*storage.Table]*storage.Bitmap)
 	for _, t := range tableOrder {
-		if !e.usePrefilter(t) {
+		if !pl.usePrefilter(t) {
 			continue
 		}
 		tp := perTable[t]
@@ -273,7 +281,7 @@ func (e *Engine) planFilters(pl *plan) error {
 	// Fold chains: push each vector one step toward the root while the
 	// hosting table also fits the budget, so an entire snowflake chain
 	// collapses into a single filter on its first-level dimension (§4.2).
-	depthOf := func(t *storage.Table) int { return e.graph.Depth(t) }
+	depthOf := func(t *storage.Table) int { return pl.graph.Depth(t) }
 	var vecTables []*storage.Table
 	for t := range vecs {
 		vecTables = append(vecTables, t)
@@ -285,10 +293,10 @@ func (e *Engine) planFilters(pl *plan) error {
 			continue
 		}
 		for depthOf(t) > 1 {
-			path, _ := e.graph.PathTo(t)
+			path, _ := pl.graph.PathTo(t)
 			step := path[len(path)-1]
 			parent := step.From
-			if parent.NumRows() > e.opt.PrefilterMaxRows {
+			if parent.NumRows() > pl.opt.PrefilterMaxRows {
 				break // the paper's "probe the big table directly" case
 			}
 			pvec := vecs[parent]
@@ -313,12 +321,12 @@ func (e *Engine) planFilters(pl *plan) error {
 
 	// Emit probe filters: predicate vectors first (cheap bit probes), then
 	// direct matchers for tables without vectors.
-	for _, t := range e.graph.Tables() {
+	for _, t := range pl.graph.Tables() {
 		vec, ok := vecs[t]
 		if !ok {
 			continue
 		}
-		path, _ := e.graph.PathTo(t)
+		path, _ := pl.graph.PathTo(t)
 		fks := make([][]int32, len(path))
 		for i, s := range path {
 			fks[i] = s.From.Column(s.FKCol).(*storage.Int32Col).V
@@ -338,7 +346,7 @@ func (e *Engine) planFilters(pl *plan) error {
 		}
 		// The table's own vector may have been folded upward; if any
 		// ancestor holds a vector now, the predicates are already applied.
-		if e.coveredByVec(t, vecs) {
+		if pl.coveredByVec(t, vecs) {
 			continue
 		}
 		tp := perTable[t]
@@ -400,10 +408,10 @@ func (e *Engine) planFilters(pl *plan) error {
 
 // coveredByVec reports whether the predicates of t were folded into a
 // predicate vector of some table on t's reference path.
-func (e *Engine) coveredByVec(t *storage.Table, vecs map[*storage.Table]*storage.Bitmap) bool {
-	path, _ := e.graph.PathTo(t)
+func (pl *plan) coveredByVec(t *storage.Table, vecs map[*storage.Table]*storage.Bitmap) bool {
+	path, _ := pl.graph.PathTo(t)
 	for _, s := range path {
-		if s.From != e.root {
+		if s.From != pl.root {
 			if _, ok := vecs[s.From]; ok {
 				return true
 			}
@@ -416,9 +424,9 @@ func (e *Engine) coveredByVec(t *storage.Table, vecs map[*storage.Table]*storage
 // group vector plus dictionary for leaf columns (built while the leaf is
 // already being processed, §4.3), dictionary codes for root dict columns,
 // and base-offset encoding for root numeric columns.
-func (e *Engine) planGroupDims(pl *plan) error {
+func (pl *plan) planGroupDims() error {
 	for _, name := range pl.q.GroupBy {
-		b, err := e.graph.Resolve(name)
+		b, err := pl.graph.Resolve(name)
 		if err != nil {
 			return err
 		}
@@ -576,7 +584,7 @@ func leafGroupDim(name string, b *schema.Binding) (*groupDim, error) {
 
 // planAggs prepares the aggregate evaluators, recognizing dense fast paths
 // for root-resident measure expressions.
-func (e *Engine) planAggs(pl *plan) error {
+func (pl *plan) planAggs() error {
 	for _, a := range pl.q.Aggs {
 		ap := &aggPlan{agg: a, kind: a.Kind}
 		pl.aggKinds = append(pl.aggKinds, a.Kind)
@@ -587,7 +595,7 @@ func (e *Engine) planAggs(pl *plan) error {
 
 		// Generic evaluator: column accessors composed with AIR chains.
 		eval, err := expr.Compile(a.Expr, func(name string) (func(int32) float64, error) {
-			b, err := e.graph.Resolve(name)
+			b, err := pl.graph.Resolve(name)
 			if err != nil {
 				return nil, err
 			}
@@ -612,7 +620,7 @@ func (e *Engine) planAggs(pl *plan) error {
 		if rec.Form != expr.FGeneric {
 			ok := true
 			bindCol := func(name string) storage.Column {
-				b, err := e.graph.Resolve(name)
+				b, err := pl.graph.Resolve(name)
 				if err != nil || !b.OnRoot() {
 					ok = false
 					return nil
@@ -653,7 +661,7 @@ func (e *Engine) planAggs(pl *plan) error {
 // decideAggBackend chooses between the multidimensional aggregation array
 // and hash aggregation (§4.3: the optimizer estimates the sparsity/size of
 // the aggregation array).
-func (e *Engine) decideAggBackend(pl *plan) {
+func (pl *plan) decideAggBackend() {
 	if pl.variant.rowWise() || pl.variant == ColWise || pl.variant == ColWisePF {
 		pl.useArray = false
 		return
@@ -670,7 +678,7 @@ func (e *Engine) decideAggBackend(pl *plan) {
 	}
 	limit := int64(agg.MaxArrayCells)
 	if pl.variant == Auto {
-		limit = int64(e.opt.MaxArrayGroups)
+		limit = int64(pl.opt.MaxArrayGroups)
 	}
 	pl.useArray = cells <= limit
 	pl.stats.UsedArrayAgg = pl.useArray

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"time"
 
@@ -12,13 +13,10 @@ import (
 // against every predicate — through AIR chains, or against predicate
 // vectors when the variant builds them — and fed to hash-based grouping and
 // aggregation. It exists to quantify what the column-wise optimizations
-// buy; it shares planning, parallelization, and result extraction with the
-// columnar path.
-func (e *Engine) runRowWise(pl *plan) (*query.Result, error) {
-	// Row-wise variants always aggregate into a hash table.
-	pl.useArray = false
-	pl.stats.UsedArrayAgg = false
-
+// buy; it shares planning, parallelization, cancellation, and result
+// extraction with the columnar path. Row-wise variants always aggregate
+// into a hash table (decideAggBackend never picks the array for them).
+func (pl *plan) runRowWise(ctx context.Context, rs *runState) (*query.Result, error) {
 	// Pre-bind per-row testers following the plan's unified filter order.
 	tests := make([]func(int32) bool, 0, len(pl.filters))
 	for i := range pl.filters {
@@ -34,7 +32,7 @@ func (e *Engine) runRowWise(pl *plan) (*query.Result, error) {
 		}
 	}
 
-	spans := makeSpans(pl.rootN, pl.opt.Workers*pl.opt.PartitionsPerWorker)
+	spans := makeSpans(pl.rootN, pl.spanCount())
 	process := func(p *partial, sp span) {
 		t0 := time.Now()
 		p.scanned += int64(sp.hi - sp.lo)
@@ -75,9 +73,9 @@ func (e *Engine) runRowWise(pl *plan) (*query.Result, error) {
 		p.scanNS += time.Since(t0).Nanoseconds()
 	}
 
-	total, err := pl.runParallel(spans, process)
+	total, err := pl.runParallel(ctx, spans, process, rs)
 	if err != nil {
 		return nil, err
 	}
-	return pl.extract(total)
+	return pl.extract(total, rs)
 }

@@ -96,10 +96,18 @@ func (q *Query) Validate() error {
 			return fmt.Errorf("query %s: %s aggregate %q without an expression", q.Name, a.Kind, a.As)
 		}
 	}
+	groups := make(map[string]bool, len(q.GroupBy))
 	for _, g := range q.GroupBy {
 		if seen[g] {
 			return fmt.Errorf("query %s: name %q used for both group column and aggregate", q.Name, g)
 		}
+		if groups[g] {
+			// A duplicate grouping column would inflate the aggregation
+			// array's shape (the duplicated dimension multiplies the cell
+			// count) without changing the result groups; reject it.
+			return fmt.Errorf("query %s: duplicate GROUP BY column %q", q.Name, g)
+		}
+		groups[g] = true
 	}
 	for _, o := range q.OrderBy {
 		ok := seen[o.Col]

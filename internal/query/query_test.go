@@ -32,6 +32,7 @@ func TestValidateErrors(t *testing.T) {
 		New("dup-agg").Agg(expr.SumOf(expr.C("x"), "a"), expr.CountStar("a")),
 		New("nil-expr").Agg(expr.Aggregate{Kind: expr.Sum, As: "a"}),
 		New("group-clash").Agg(expr.CountStar("g")).GroupByCols("g"),
+		New("dup-group").Agg(expr.CountStar("c")).GroupByCols("a", "a"),
 		New("bad-order").Agg(expr.CountStar("c")).OrderAsc("nope"),
 	}
 	for _, q := range cases {

@@ -9,15 +9,36 @@ import (
 	"astore/internal/query"
 )
 
-// Parse compiles one SPJGA SELECT statement into a query. See the package
+// Statement is one parsed SPJGA SELECT statement: the compiled query plus
+// the routing metadata a database-level caller needs — the FROM-clause
+// table names, in source order, as written. The names take no part in
+// query execution (joins are implied by AIR), but the serving layer uses
+// them to route the statement to the right fact-table engine.
+type Statement struct {
+	Query  *query.Query
+	Tables []string
+}
+
+// Parse compiles one SPJGA SELECT statement into a query, discarding the
+// routing metadata. See ParseStatement.
+func Parse(src string) (*query.Query, error) {
+	st, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	return st.Query, nil
+}
+
+// ParseStatement compiles one SPJGA SELECT statement. See the package
 // comment for the accepted grammar; notable rules:
 //
-//   - FROM names are accepted and ignored (joins are implied by AIR);
+//   - FROM names are collected as routing metadata but take no part in
+//     execution (joins are implied by AIR);
 //   - WHERE is a conjunction; column = column predicates are join
 //     conditions and are dropped;
 //   - every aggregate may carry AS name (a name is synthesized otherwise);
 //   - non-aggregate SELECT items must appear in GROUP BY.
-func Parse(src string) (*query.Query, error) {
+func ParseStatement(src string) (*Statement, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
@@ -30,13 +51,14 @@ func Parse(src string) (*query.Query, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	return q, nil
+	return &Statement{Query: q, Tables: p.tables}, nil
 }
 
 type parser struct {
-	toks []token
-	i    int
-	src  string
+	toks   []token
+	i      int
+	src    string
+	tables []string // FROM-clause table names, in source order
 }
 
 func (p *parser) cur() token  { return p.toks[p.i] }
@@ -112,13 +134,13 @@ func (p *parser) parseQuery() (*query.Query, error) {
 	if err := p.expectKw("from"); err != nil {
 		return nil, err
 	}
-	// Table names are accepted for SQL compatibility; the join structure
-	// comes from the schema's AIR edges.
+	// Table names are recorded for routing; the join structure comes from
+	// the schema's AIR edges.
 	for {
 		if p.cur().kind != tokIdent {
 			return nil, p.errf("expected table name")
 		}
-		p.next()
+		p.tables = append(p.tables, p.next().raw)
 		if !p.acceptSym(",") {
 			break
 		}

@@ -267,3 +267,31 @@ func TestParsedQueryOnOracle(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParseStatementTables(t *testing.T) {
+	st, err := ParseStatement(paperQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"customer", "lineorder", "supplier", "date"}
+	if len(st.Tables) != len(want) {
+		t.Fatalf("Tables = %v", st.Tables)
+	}
+	for i, w := range want {
+		if st.Tables[i] != w {
+			t.Errorf("Tables[%d] = %q, want %q", i, st.Tables[i], w)
+		}
+	}
+	if st.Query == nil || len(st.Query.GroupBy) != 3 {
+		t.Fatalf("Query = %+v", st.Query)
+	}
+
+	// Single-table FROM.
+	st, err = ParseStatement("SELECT count(*) AS n FROM wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tables) != 1 || st.Tables[0] != "wide" {
+		t.Fatalf("Tables = %v", st.Tables)
+	}
+}

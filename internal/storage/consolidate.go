@@ -73,7 +73,15 @@ func Consolidate(db *Database, t *Table) ([]int32, error) {
 	t.free = t.free[:0]
 
 	// Rewrite all references (the extra cost of consolidation under AIR).
+	// Each referrer is rewritten under its own mutex so a concurrent
+	// writer cannot append to (and possibly reallocate) the FK column
+	// mid-rewrite; one referrer mutex is held at a time, so this cannot
+	// deadlock against single-table writers.
+	t.version++
 	for _, r := range refs {
+		if r.From != t {
+			r.From.mu.Lock()
+		}
 		fk := r.From.Column(r.Col).(*Int32Col)
 		for i := range fk.V {
 			if nv := remap[fk.V[i]]; nv >= 0 {
@@ -83,6 +91,10 @@ func Consolidate(db *Database, t *Table) ([]int32, error) {
 				// keep a safe in-range value for the dead slot.
 				fk.V[i] = 0
 			}
+		}
+		if r.From != t {
+			r.From.version++
+			r.From.mu.Unlock()
 		}
 	}
 	return remap, nil

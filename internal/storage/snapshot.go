@@ -17,10 +17,11 @@ package storage
 // Snapshots are cheap: O(columns) slice headers plus one bitmap clone.
 // Release must be called when the reader is done so writers stop copying.
 type Snapshot struct {
-	table *Table
-	n     int
-	del   *Bitmap
-	cols  map[string]Column
+	table   *Table
+	n       int
+	del     *Bitmap
+	cols    map[string]Column
+	version uint64
 }
 
 // Snapshot returns a stable view of the table's current contents.
@@ -28,9 +29,10 @@ func (t *Table) Snapshot() *Snapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := &Snapshot{
-		table: t,
-		n:     t.nrows,
-		cols:  make(map[string]Column, len(t.names)),
+		table:   t,
+		n:       t.nrows,
+		cols:    make(map[string]Column, len(t.names)),
+		version: t.version,
 	}
 	if t.del != nil {
 		s.del = t.del.Clone()
@@ -67,6 +69,9 @@ func (s *Snapshot) Release() {
 // NumRows returns the snapshot's row count.
 func (s *Snapshot) NumRows() int { return s.n }
 
+// Version returns the table's mutation counter as of snapshot time.
+func (s *Snapshot) Version() uint64 { return s.version }
+
 // Deleted returns the snapshot's deletion vector (may be nil).
 func (s *Snapshot) Deleted() *Bitmap { return s.del }
 
@@ -91,7 +96,36 @@ func (s *Snapshot) AsTable() *Table {
 	}
 	out.nrows = s.n
 	out.del = s.del
+	out.version = s.version
 	return out
+}
+
+// SnapshotSet pins a snapshot of every table in the set and returns the
+// frozen versions with the foreign-key edges among them re-wired, so a
+// schema graph can be built over the frozen tables. It is the rooted
+// counterpart of Database.Snapshot: the query engine acquires the set of
+// tables reachable from one fact table. release must be called when the
+// reader is done so writers stop copying.
+func SnapshotSet(tables []*Table) (frozen map[*Table]*Table, release func()) {
+	snaps := make([]*Snapshot, 0, len(tables))
+	frozen = make(map[*Table]*Table, len(tables))
+	for _, t := range tables {
+		s := t.Snapshot()
+		snaps = append(snaps, s)
+		frozen[t] = s.AsTable()
+	}
+	for _, t := range tables {
+		for col, ref := range t.fks {
+			if fref, ok := frozen[ref]; ok {
+				frozen[t].fks[col] = fref
+			}
+		}
+	}
+	return frozen, func() {
+		for _, s := range snaps {
+			s.Release()
+		}
+	}
 }
 
 // Snapshot takes a consistent snapshot of every table in the database and
@@ -103,26 +137,12 @@ func (s *Snapshot) AsTable() *Table {
 //
 // release must be called when the reader is done so writers stop copying.
 func (db *Database) Snapshot() (snap *Database, release func()) {
-	snaps := make([]*Snapshot, 0, len(db.tables))
-	frozen := make(map[*Table]*Table, len(db.tables))
+	frozen, release := SnapshotSet(db.tables)
 	snap = NewDatabase()
 	for _, t := range db.tables {
-		s := t.Snapshot()
-		snaps = append(snaps, s)
-		ft := s.AsTable()
-		frozen[t] = ft
-		snap.MustAdd(ft)
+		snap.MustAdd(frozen[t])
 	}
-	for _, t := range db.tables {
-		for col, ref := range t.fks {
-			frozen[t].fks[col] = frozen[ref]
-		}
-	}
-	return snap, func() {
-		for _, s := range snaps {
-			s.Release()
-		}
-	}
+	return snap, release
 }
 
 // shallowHeaderCopy copies a column's struct (slice headers) without copying

@@ -30,6 +30,12 @@ type Table struct {
 	shared map[string]bool
 	pins   int
 
+	// version counts mutations (insert, delete, update, consolidation).
+	// Because pinned columns are copy-on-write, two reads of the table at
+	// the same version observe identical arrays; plan caches use this to
+	// decide whether a compiled plan's captured arrays are still current.
+	version uint64
+
 	// mu serializes writers. Readers use Snapshot for isolation; reading
 	// the live table concurrently with writers is not synchronized.
 	mu sync.Mutex
@@ -118,6 +124,22 @@ func (t *Table) FKs() map[string]*Table {
 		m[k] = v
 	}
 	return m
+}
+
+// Version returns the table's mutation counter. It increases on every
+// insert, delete, update, and consolidation; snapshots taken at equal
+// versions see identical data.
+func (t *Table) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// Pins returns the number of live snapshots currently pinning the table.
+func (t *Table) Pins() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pins
 }
 
 // Deleted returns the deletion vector, or nil if no row was ever deleted.

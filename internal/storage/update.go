@@ -48,7 +48,13 @@ func (t *Table) Insert(vals map[string]any) (int, error) {
 				return -1, err
 			}
 		}
+		if t.pins > 0 {
+			// The deletion vector is snapshot state: clone before clearing
+			// the reused slot's bit so pinned readers keep seeing it deleted.
+			t.del = t.del.Clone()
+		}
 		t.del.Clear(row)
+		t.version++
 		return row, nil
 	}
 
@@ -70,6 +76,7 @@ func (t *Table) Insert(vals map[string]any) (int, error) {
 	if t.del != nil {
 		t.del.Grow(t.nrows)
 	}
+	t.version++
 	return row, nil
 }
 
@@ -95,6 +102,7 @@ func (t *Table) Delete(i int) error {
 	}
 	t.del.Set(i)
 	t.free = append(t.free, int32(i))
+	t.version++
 	return nil
 }
 
@@ -117,7 +125,11 @@ func (t *Table) Update(i int, col string, v any) error {
 	if err := checkAssignable(c, v); err != nil {
 		return fmt.Errorf("storage: table %s: %w", t.Name, err)
 	}
-	return setValue(t.cowColumn(col), i, v)
+	if err := setValue(t.cowColumn(col), i, v); err != nil {
+		return err
+	}
+	t.version++
+	return nil
 }
 
 // cowColumn returns the named column, cloning it first if it is pinned by a

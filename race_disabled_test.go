@@ -1,0 +1,5 @@
+//go:build !race
+
+package astore_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package astore_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; timing-sensitive assertions are skipped under instrumentation.
+const raceEnabled = true
