@@ -62,6 +62,7 @@ import (
 	"astore/internal/expr"
 	"astore/internal/load"
 	"astore/internal/query"
+	"astore/internal/server"
 	"astore/internal/sql"
 	"astore/internal/storage"
 )
@@ -129,6 +130,23 @@ type (
 	// misses, staleness recompiles, executions).
 	DBStats = db.Stats
 )
+
+// HTTP serving layer.
+type (
+	// Server exposes a DB over HTTP: /v1/query with admission control and
+	// streaming results, /v1/tables/{table}/append live ingest, /healthz,
+	// /v1/stats. Create one with NewServer.
+	Server = server.Server
+	// ServerConfig tunes a Server (admission bounds, deadlines, limits).
+	ServerConfig = server.Config
+	// ServerStats is the /v1/stats response shape.
+	ServerStats = server.Stats
+)
+
+// NewServer builds an HTTP server over the database handle. Mount
+// Server.Handler, or call Server.ListenAndServe and stop it with
+// Server.Shutdown, which drains in-flight queries.
+func NewServer(d *DB, cfg ServerConfig) *Server { return server.New(d, cfg) }
 
 // Engine.
 type (

@@ -1,0 +1,123 @@
+// Command astore-serve serves an A-Store catalog over HTTP.
+//
+// By default it generates Star Schema Benchmark data in memory and serves
+// it; -load serves a binary database image written by astore-gen instead:
+//
+//	astore-serve -addr :8080 -sf 0.1
+//	astore-serve -addr :8080 -load ssb.astore
+//
+// Endpoints (see the README for request bodies):
+//
+//	POST /v1/query                 SQL or structured JSON query
+//	POST /v1/tables/{table}/append live ingest
+//	GET  /healthz                  liveness
+//	GET  /v1/stats                 serving counters
+//
+// SIGINT/SIGTERM shut down gracefully: new requests are rejected with 503
+// while in-flight queries drain and release their snapshot pins.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"astore/internal/core"
+	"astore/internal/datagen/ssb"
+	"astore/internal/db"
+	"astore/internal/server"
+	"astore/internal/storage"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		loadPath = flag.String("load", "", "serve a saved database image instead of generating SSB")
+		sf       = flag.Float64("sf", 0.05, "SSB scale factor when generating")
+		seed     = flag.Int64("seed", 1, "SSB generation seed")
+
+		workers   = flag.Int("workers", 0, "worker threads per query (0 = serial)")
+		batchRows = flag.Int("batch-rows", 0, "rows per scan batch (cancellation granularity; 0 = default 64K)")
+		cacheCap  = flag.Int("cache-cap", db.DefaultPlanCacheCap, "plan cache capacity")
+
+		maxInFlight = flag.Int("max-inflight", 4, "max concurrently executing queries")
+		maxQueue    = flag.Int("max-queue", 0, "max queued queries (0 = 2*max-inflight)")
+		queueWait   = flag.Duration("queue-wait", time.Second, "max time a query waits for a slot")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+		drainWait   = flag.Duration("drain-wait", 30*time.Second, "max time to drain in-flight queries on shutdown")
+	)
+	flag.Parse()
+
+	catalog, err := loadCatalog(*loadPath, *sf, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := db.Open(catalog, core.Options{Workers: *workers, BatchRows: *batchRows})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.SetPlanCacheCap(*cacheCap)
+	for _, t := range catalog.Tables() {
+		log.Printf("table %-12s %10d rows  %8.1f MB", t.Name, t.NumRows(), float64(t.MemBytes())/(1<<20))
+	}
+	log.Printf("serving fact tables %v on %s", d.Facts(), *addr)
+
+	srv := server.New(d, server.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		RetryAfter:     *retryAfter,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Logf:           log.Printf,
+	})
+
+	// Graceful shutdown: reject new work, drain in-flight queries (releasing
+	// snapshot pins), then close the listener.
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		log.Printf("shutting down: draining in-flight queries (max %v)", *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+	}()
+
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("bye")
+}
+
+// loadCatalog builds the catalog to serve: a saved image, or generated SSB.
+func loadCatalog(path string, sf float64, seed int64) (*storage.Database, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		catalog, err := storage.LoadDatabase(f)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		log.Printf("loaded database image %s", path)
+		return catalog, nil
+	}
+	log.Printf("generating SSB SF=%g (seed %d) ...", sf, seed)
+	t0 := time.Now()
+	data := ssb.Generate(ssb.Config{SF: sf, Seed: seed})
+	log.Printf("generated %d lineorder rows in %v", data.Lineorder.NumRows(), time.Since(t0).Round(time.Millisecond))
+	return data.DB, nil
+}

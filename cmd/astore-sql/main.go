@@ -119,8 +119,8 @@ func main() {
 			return
 		case `\stats`:
 			st := db.Stats()
-			fmt.Printf("prepares %d, execs %d, plan cache: %d hits, %d misses, %d stale recompiles\n",
-				st.Prepares, st.Execs, st.PlanHits, st.PlanMisses, st.PlanStale)
+			fmt.Printf("prepares %d, execs %d, plan cache: %d hits, %d misses, %d stale recompiles, %d evictions\n",
+				st.Prepares, st.Execs, st.PlanHits, st.PlanMisses, st.PlanStale, st.PlanEvictions)
 			prompt()
 			continue
 		}

@@ -80,6 +80,9 @@ type Stats struct {
 	// PlanStale counts recompilations because table versions moved under a
 	// cached plan.
 	PlanStale int64
+	// PlanEvictions counts cached plans dropped because the cache exceeded
+	// its capacity (stale replacements do not count).
+	PlanEvictions int64
 }
 
 // Open builds a DB over the catalog: every fact table (a table referenced
@@ -125,6 +128,11 @@ func Open(catalog *storage.Database, opt core.Options) (*DB, error) {
 
 // Facts returns the registered fact-table names, in catalog order.
 func (d *DB) Facts() []string { return append([]string(nil), d.order...) }
+
+// Catalog returns the catalog the DB serves. Callers may mutate table
+// contents through the storage API (queries stay snapshot-isolated) but
+// must not change the schema.
+func (d *DB) Catalog() *storage.Database { return d.catalog }
 
 // Engine returns the engine serving the named fact table, or nil. It gives
 // access to the schema graph and Explain; queries should go through
@@ -274,6 +282,7 @@ func (d *DB) evictOldestLocked() {
 	}
 	d.lru.Remove(el)
 	delete(d.cache, el.Value.(*cacheEntry).key)
+	d.stats.PlanEvictions++
 }
 
 // Prepare resolves, routes, and compiles a query for repeated execution.

@@ -228,11 +228,13 @@ func TestPlanCacheEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.SetPlanCacheCap(2)
-	for i := 0; i < 5; i++ {
-		q := query.New("q").
+	discountCount := func(i int) *query.Query {
+		return query.New("q").
 			Where(expr.IntEq("f_discount", int64(i))).
 			Agg(expr.CountStar("n"))
-		if _, err := d.Prepare(q); err != nil {
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := d.Prepare(discountCount(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -241,6 +243,32 @@ func TestPlanCacheEviction(t *testing.T) {
 	d.mu.Unlock()
 	if n != 2 {
 		t.Fatalf("cache size = %d, want 2", n)
+	}
+	// Five distinct signatures through a cap of 2: every prepare misses, and
+	// each of the last three prepares evicts the oldest entry.
+	st := d.Stats()
+	if st.PlanMisses != 5 || st.PlanEvictions != 3 || st.PlanHits != 0 {
+		t.Fatalf("after over-full prepares: %+v", st)
+	}
+
+	// Re-preparing a resident signature hits without evicting.
+	if _, err := d.Prepare(discountCount(4)); err != nil {
+		t.Fatal(err)
+	}
+	if st = d.Stats(); st.PlanHits != 1 || st.PlanEvictions != 3 {
+		t.Fatalf("after resident re-prepare: %+v", st)
+	}
+
+	// Shrinking the cap below the resident count evicts immediately.
+	d.SetPlanCacheCap(1)
+	d.mu.Lock()
+	n = d.lru.Len()
+	d.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("cache size after shrink = %d, want 1", n)
+	}
+	if st = d.Stats(); st.PlanEvictions != 4 {
+		t.Fatalf("after shrink: %+v", st)
 	}
 }
 

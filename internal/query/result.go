@@ -66,6 +66,13 @@ type Result struct {
 	Rows      []Row
 }
 
+// Columns returns the result header: the grouping column names followed by
+// the aggregate names, matching the value order of each row (keys, then
+// aggregates).
+func (r *Result) Columns() []string {
+	return append(append(make([]string, 0, len(r.GroupCols)+len(r.AggNames)), r.GroupCols...), r.AggNames...)
+}
+
 // colIndex locates an ORDER BY column: group key (kind 0) or aggregate
 // (kind 1).
 func (r *Result) colIndex(name string) (idx int, isAgg bool, err error) {

@@ -1,0 +1,75 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strconv"
+)
+
+// JSON rendering of results, shared by the HTTP serving layer and any tool
+// that wants machine-readable output. A result renders as
+//
+//	{"columns": ["d_year", "revenue"], "rows": [[1993, 24045]]}
+//
+// where each row is one flat array: group-key values (numbers or strings)
+// followed by aggregate values, in Columns() order. Aggregates that are not
+// finite (NaN, ±Inf — possible for AVG over zero rows or overflow) render
+// as null, since JSON has no encoding for them.
+
+// MarshalJSON renders the value as a JSON number (numeric keys, integers
+// without a decimal point) or a JSON string.
+func (v Value) MarshalJSON() ([]byte, error) {
+	if !v.IsNum {
+		return json.Marshal(v.Str)
+	}
+	return appendJSONNum(nil, v.Num), nil
+}
+
+// MarshalJSON renders the row as one flat JSON array: keys, then aggregates.
+func (r Row) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i, k := range r.Keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kb, err := k.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		b.Write(kb)
+	}
+	for i, a := range r.Aggs {
+		if len(r.Keys) > 0 || i > 0 {
+			b.WriteByte(',')
+		}
+		b.Write(appendJSONNum(nil, a))
+	}
+	b.WriteByte(']')
+	return b.Bytes(), nil
+}
+
+// MarshalJSON renders the result as {"columns": [...], "rows": [...]}.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := struct {
+		Columns []string `json:"columns"`
+		Rows    []Row    `json:"rows"`
+	}{Columns: r.Columns(), Rows: r.Rows}
+	if out.Rows == nil {
+		out.Rows = []Row{}
+	}
+	return json.Marshal(out)
+}
+
+// appendJSONNum appends a JSON encoding of f: integral values render as
+// integers, non-finite values as null.
+func appendJSONNum(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, "null"...)
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.AppendInt(dst, int64(f), 10)
+	}
+	return strconv.AppendFloat(dst, f, 'g', -1, 64)
+}

@@ -1,0 +1,113 @@
+package query
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestColumnsHeader(t *testing.T) {
+	r := &Result{GroupCols: []string{"d_year", "p_brand1"}, AggNames: []string{"revenue", "cnt"}}
+	want := []string{"d_year", "p_brand1", "revenue", "cnt"}
+	if got := r.Columns(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Columns() = %v, want %v", got, want)
+	}
+	// The header is a copy: mutating it must not touch the result.
+	r.Columns()[0] = "clobbered"
+	if r.GroupCols[0] != "d_year" {
+		t.Fatalf("Columns() aliases GroupCols")
+	}
+}
+
+func TestResultMarshalJSONNumericAndStringKeys(t *testing.T) {
+	r := &Result{
+		GroupCols: []string{"d_year", "c_nation"},
+		AggNames:  []string{"revenue"},
+		Rows: []Row{
+			{Keys: []Value{NumValue(1993), StrValue("CHINA")}, Aggs: []float64{1234567}},
+			{Keys: []Value{NumValue(1994.5), StrValue("O'BRIEN \"x\"")}, Aggs: []float64{2.5}},
+		},
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"columns":["d_year","c_nation","revenue"],"rows":[[1993,"CHINA",1234567],[1994.5,"O'BRIEN \"x\"",2.5]]}`
+	if string(b) != want {
+		t.Fatalf("marshal = %s, want %s", b, want)
+	}
+
+	// Numeric keys must render as JSON numbers, string keys as JSON strings.
+	var dec struct {
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &dec); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if _, ok := dec.Rows[0][0].(float64); !ok {
+		t.Fatalf("numeric key decoded as %T, want float64", dec.Rows[0][0])
+	}
+	if _, ok := dec.Rows[0][1].(string); !ok {
+		t.Fatalf("string key decoded as %T, want string", dec.Rows[0][1])
+	}
+}
+
+func TestResultMarshalJSONEmptyAndGlobalAggregate(t *testing.T) {
+	// A global aggregate has no group columns; an empty result must render
+	// rows as [] rather than null.
+	r := &Result{AggNames: []string{"revenue"}}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"columns":["revenue"],"rows":[]}` {
+		t.Fatalf("empty marshal = %s", b)
+	}
+	r.Rows = []Row{{Aggs: []float64{42}}}
+	if b, err = json.Marshal(r); err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"columns":["revenue"],"rows":[[42]]}` {
+		t.Fatalf("global-aggregate marshal = %s", b)
+	}
+}
+
+func TestRowMarshalJSONNonFinite(t *testing.T) {
+	row := Row{Keys: []Value{StrValue("k")}, Aggs: []float64{math.NaN(), math.Inf(1)}}
+	b, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `["k",null,null]` {
+		t.Fatalf("non-finite marshal = %s", b)
+	}
+	// Standard library json would have errored on NaN; ours must stay valid.
+	var dec []any
+	if err := json.Unmarshal(b, &dec); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+}
+
+func TestValueMarshalJSONIntegral(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NumValue(0), "0"},
+		{NumValue(-7), "-7"},
+		{NumValue(199401), "199401"},
+		{NumValue(3.25), "3.25"},
+		{StrValue("MFGR#12"), `"MFGR#12"`},
+	}
+	for _, c := range cases {
+		b, err := json.Marshal(c.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != c.want {
+			t.Errorf("marshal %v = %s, want %s", c.v, b, c.want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errOverloaded is returned by admission.acquire when the server is at
+// capacity and the wait queue is full (or the queue wait expired). The HTTP
+// layer maps it to 503 Service Unavailable with a Retry-After hint.
+var errOverloaded = errors.New("server: overloaded, try again later")
+
+// admission is the query admission controller: at most maxInFlight queries
+// execute concurrently, at most maxQueue more wait up to maxWait for a slot,
+// and everything beyond that is rejected immediately. Bounding both the
+// concurrency and the queue keeps latency predictable under overload —
+// requests fail fast with a retry hint instead of piling up goroutines.
+type admission struct {
+	slots   chan struct{} // a token in the channel is an occupied slot
+	queue   chan struct{} // a token in the channel is a waiting request
+	maxWait time.Duration
+
+	admitted atomic.Int64
+	queued   atomic.Int64 // admitted after waiting in the queue
+	rejected atomic.Int64
+}
+
+func newAdmission(maxInFlight, maxQueue int, maxWait time.Duration) *admission {
+	return &admission{
+		slots:   make(chan struct{}, maxInFlight),
+		queue:   make(chan struct{}, maxQueue),
+		maxWait: maxWait,
+	}
+}
+
+// acquire blocks until a slot is free, the queue wait expires (errOverloaded),
+// the queue is full (errOverloaded immediately), or ctx is done (its error).
+// On nil return the caller owns a slot and must call release exactly once.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.rejected.Add(1)
+		return errOverloaded
+	}
+	defer func() { <-a.queue }()
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.queued.Add(1)
+		return nil
+	case <-timer.C:
+		a.rejected.Add(1)
+		return errOverloaded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot acquired by acquire.
+func (a *admission) release() { <-a.slots }
+
+// inFlight is the number of queries currently executing.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// waiting is the number of queries currently queued for a slot.
+func (a *admission) waiting() int { return len(a.queue) }

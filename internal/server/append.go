@@ -1,0 +1,202 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"astore/internal/storage"
+)
+
+// appendRequest is the POST /v1/tables/{table}/append body.
+type appendRequest struct {
+	// Rows are tuples to insert, each mapping every column of the table to
+	// a value (numbers for int/float columns, strings for string columns;
+	// foreign-key columns take array indexes of the referenced table).
+	Rows []map[string]any `json:"rows"`
+}
+
+// appendResponse reports the inserted row indexes (the primary keys) and
+// the table's mutation counter after the batch.
+type appendResponse struct {
+	Table   string   `json:"table"`
+	Rows    []int    `json:"rows"`
+	Count   int      `json:"count"`
+	Version uint64   `json:"version"`
+	Columns []string `json:"columns,omitempty"` // on error: expected columns
+}
+
+// handleAppend serves live ingest. Rows are validated (column set, value
+// types, AIR range of foreign keys) before insertion; a bad row aborts the
+// batch with a 400 naming the row, with every prior row already inserted
+// (inserts are per-row atomic, there is no multi-row transaction).
+// Concurrent queries are unaffected: they read pinned snapshots, and the
+// writers' copy-on-write keeps those stable.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("table")
+	t := s.db.Catalog().Table(name)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no table %q", name)
+		return
+	}
+
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	dec.DisallowUnknownFields()
+	var req appendRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "no rows to append")
+		return
+	}
+
+	bounds := fkBounds(t)
+	inserted := make([]int, 0, len(req.Rows))
+	for i, jsonRow := range req.Rows {
+		vals, err := convertRow(t, jsonRow)
+		if err == nil {
+			err = validateFKs(bounds, vals)
+		}
+		if err != nil {
+			s.appendError(w, t, inserted, fmt.Errorf("row %d: %w", i, err))
+			return
+		}
+		idx, err := t.Insert(vals)
+		if err != nil {
+			s.appendError(w, t, inserted, fmt.Errorf("row %d: %w", i, err))
+			return
+		}
+		inserted = append(inserted, idx)
+	}
+	writeJSON(w, appendResponse{Table: t.Name, Rows: inserted, Count: len(inserted), Version: t.Version()})
+}
+
+// appendError reports a failed batch, naming the expected columns and how
+// many rows of the batch had already been inserted.
+func (s *Server) appendError(w http.ResponseWriter, t *storage.Table, inserted []int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error    string   `json:"error"`
+		Inserted int      `json:"inserted"`
+		Columns  []string `json:"columns"`
+	}{
+		Error:    fmt.Sprintf("append to %s: %v", t.Name, err),
+		Inserted: len(inserted),
+		Columns:  t.ColumnNames(),
+	})
+}
+
+// convertRow converts decoded JSON values into the column types the storage
+// layer accepts: int64 for integer columns, float64 for float columns,
+// string for string and dictionary columns.
+func convertRow(t *storage.Table, jsonRow map[string]any) (map[string]any, error) {
+	vals := make(map[string]any, len(jsonRow))
+	for col, v := range jsonRow {
+		c := t.Column(col)
+		if c == nil {
+			return nil, fmt.Errorf("unknown column %q", col)
+		}
+		cv, err := convertValue(c, col, v)
+		if err != nil {
+			return nil, err
+		}
+		vals[col] = cv
+	}
+	// Insert itself rejects missing columns; converting here keeps the
+	// error message in terms of the JSON body.
+	for _, col := range t.ColumnNames() {
+		if _, ok := vals[col]; !ok {
+			return nil, fmt.Errorf("missing column %q", col)
+		}
+	}
+	return vals, nil
+}
+
+func convertValue(c storage.Column, col string, v any) (any, error) {
+	switch c.(type) {
+	case *storage.Int32Col, *storage.Int64Col:
+		n, ok := v.(json.Number)
+		if !ok {
+			return nil, fmt.Errorf("column %q wants an integer, got %T", col, v)
+		}
+		i, err := strconv.ParseInt(n.String(), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("column %q wants an integer, got %q", col, n.String())
+		}
+		if _, is32 := c.(*storage.Int32Col); is32 && (i < math.MinInt32 || i > math.MaxInt32) {
+			// storage.appendValue would silently truncate to int32.
+			return nil, fmt.Errorf("column %q: %d overflows int32", col, i)
+		}
+		return i, nil
+	case *storage.Float64Col:
+		n, ok := v.(json.Number)
+		if !ok {
+			return nil, fmt.Errorf("column %q wants a number, got %T", col, v)
+		}
+		f, err := n.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("column %q wants a number, got %q", col, n.String())
+		}
+		return f, nil
+	case *storage.StrCol, *storage.DictCol:
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("column %q wants a string, got %T", col, v)
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("column %q has unsupported type", col)
+	}
+}
+
+// fkBound is the referenced table's row count and deletion vector as of a
+// consistent point before the batch.
+type fkBound struct {
+	refName string
+	n       int
+	del     *storage.Bitmap
+}
+
+// fkBounds captures, per FK column, a consistent view of the referenced
+// table via a transient snapshot (reading a live table's row count and
+// deletion vector unlocked would race concurrent writers). The snapshot is
+// released immediately: the cloned deletion vector stays readable, and rows
+// appended to the referenced table after this point are simply not yet
+// referenceable by this batch.
+func fkBounds(t *storage.Table) map[string]fkBound {
+	bounds := make(map[string]fkBound)
+	for col, ref := range t.FKs() {
+		snap := ref.Snapshot()
+		bounds[col] = fkBound{refName: ref.Name, n: snap.NumRows(), del: snap.Deleted()}
+		snap.Release()
+	}
+	return bounds
+}
+
+// validateFKs enforces the AIR invariant at the ingest boundary: every
+// foreign-key value must be a live array index of the referenced table.
+// (storage.Insert does not check this; a violating row would poison every
+// query that joins through it.) As with the storage API itself, callers
+// deleting dimension rows concurrently are responsible for not deleting
+// still-referenced tuples.
+func validateFKs(bounds map[string]fkBound, vals map[string]any) error {
+	for col, b := range bounds {
+		v, ok := vals[col].(int64)
+		if !ok {
+			continue // missing column: caught by convertRow
+		}
+		if v < 0 || int(v) >= b.n {
+			return fmt.Errorf("fk %s=%d out of range for %s (%d rows)", col, v, b.refName, b.n)
+		}
+		if b.del != nil && b.del.Get(int(v)) {
+			return fmt.Errorf("fk %s=%d references a deleted row of %s", col, v, b.refName)
+		}
+	}
+	return nil
+}

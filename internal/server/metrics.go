@@ -1,0 +1,80 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// endpointMetrics are cumulative per-endpoint serving counters, updated
+// lock-free on every request by the instrumentation wrapper.
+type endpointMetrics struct {
+	count   atomic.Int64 // requests served (including errors)
+	errors  atomic.Int64 // responses with status >= 400
+	totalNS atomic.Int64 // summed wall time
+	maxNS   atomic.Int64 // slowest request
+}
+
+func (m *endpointMetrics) observe(d time.Duration, failed bool) {
+	m.count.Add(1)
+	if failed {
+		m.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	m.totalNS.Add(ns)
+	for {
+		cur := m.maxNS.Load()
+		if ns <= cur || m.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// EndpointStats is the JSON rendering of one endpoint's counters.
+type EndpointStats struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	AvgUS  float64 `json:"avg_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+func (m *endpointMetrics) snapshot() EndpointStats {
+	s := EndpointStats{
+		Count:  m.count.Load(),
+		Errors: m.errors.Load(),
+		MaxUS:  float64(m.maxNS.Load()) / 1e3,
+	}
+	if s.Count > 0 {
+		s.AvgUS = float64(m.totalNS.Load()) / float64(s.Count) / 1e3
+	}
+	return s
+}
+
+// AdmissionStats is the JSON rendering of the admission controller's state.
+type AdmissionStats struct {
+	MaxInFlight int   `json:"max_in_flight"`
+	MaxQueue    int   `json:"max_queue"`
+	InFlight    int   `json:"in_flight"`
+	Waiting     int   `json:"waiting"`
+	Admitted    int64 `json:"admitted"`
+	Queued      int64 `json:"queued"`
+	Rejected    int64 `json:"rejected"`
+}
+
+// DBStats is the JSON rendering of the DB's plan-cache and serving counters.
+type DBStats struct {
+	Prepares      int64 `json:"prepares"`
+	Execs         int64 `json:"execs"`
+	PlanHits      int64 `json:"plan_hits"`
+	PlanMisses    int64 `json:"plan_misses"`
+	PlanStale     int64 `json:"plan_stale"`
+	PlanEvictions int64 `json:"plan_evictions"`
+}
+
+// Stats is the GET /v1/stats response body.
+type Stats struct {
+	UptimeMS  int64                    `json:"uptime_ms"`
+	Panics    int64                    `json:"panics"`
+	DB        DBStats                  `json:"db"`
+	Admission AdmissionStats           `json:"admission"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}

@@ -1,0 +1,410 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"astore/internal/db"
+	"astore/internal/expr"
+	"astore/internal/query"
+	"astore/internal/sql"
+)
+
+// statusClientClosed is the non-standard 499 (client closed request) used
+// for metrics when the client disconnects mid-query; the response itself is
+// unreachable.
+const statusClientClosed = 499
+
+// queryRequest is the POST /v1/query body: exactly one of SQL or Query.
+type queryRequest struct {
+	// SQL is a SPJGA SELECT statement.
+	SQL string `json:"sql"`
+	// Query is the structured form of the same query family.
+	Query *jsonQuery `json:"query"`
+	// TimeoutMS overrides the server's default per-query deadline, capped
+	// at the server's maximum.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// jsonQuery is a structured SPJGA query.
+type jsonQuery struct {
+	Name    string      `json:"name"`
+	Fact    string      `json:"fact"` // optional explicit routing
+	Where   []jsonPred  `json:"where"`
+	GroupBy []string    `json:"group_by"`
+	Aggs    []jsonAgg   `json:"aggs"`
+	OrderBy []jsonOrder `json:"order_by"`
+	Limit   int         `json:"limit"`
+}
+
+// jsonPred is one conjunct: {"col","op","value"} for comparisons,
+// {"col","op":"between","lo","hi"}, or {"col","op":"in","values":[...]}.
+type jsonPred struct {
+	Col    string `json:"col"`
+	Op     string `json:"op"`
+	Value  any    `json:"value"`
+	Values []any  `json:"values"`
+	Lo     any    `json:"lo"`
+	Hi     any    `json:"hi"`
+}
+
+// jsonAgg is one aggregate: kind sum|count|min|max|avg, an optional
+// arithmetic expression over columns (required for every kind but count),
+// and an optional result name.
+type jsonAgg struct {
+	Kind string `json:"kind"`
+	Expr string `json:"expr"`
+	As   string `json:"as"`
+}
+
+// jsonOrder is one ORDER BY key.
+type jsonOrder struct {
+	Col  string `json:"col"`
+	Desc bool   `json:"desc"`
+}
+
+// handleQuery serves POST /v1/query: decode, admit, execute under the
+// per-request deadline, stream the result.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	dec.DisallowUnknownFields()
+	var req queryRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if (req.SQL == "") == (req.Query == nil) {
+		writeError(w, http.StatusBadRequest, `body must carry exactly one of "sql" or "query"`)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		// Clamp in milliseconds before converting: a huge timeout_ms would
+		// overflow time.Duration into the negative.
+		if req.TimeoutMS >= s.cfg.MaxTimeout.Milliseconds() {
+			timeout = s.cfg.MaxTimeout
+		} else {
+			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		}
+	} else if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	// r.Context() is canceled when the client disconnects, so both
+	// disconnects and deadlines cancel the scan at a batch boundary.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	t0 := time.Now()
+	res, fact, err := s.runQuery(ctx, &req)
+	if err != nil {
+		s.writeQueryError(w, timeout, err)
+		return
+	}
+	s.streamResult(w, fact, res, time.Since(t0))
+}
+
+// errQueuedTimeout marks a request whose deadline expired while it waited
+// for an admission slot: the server was too busy to serve it in time,
+// which is overload, not execution timeout.
+var errQueuedTimeout = errors.New("server: queued past the request deadline")
+
+// badRequest wraps errors the client caused (parse, routing, validation).
+type badRequest struct{ err error }
+
+func (b badRequest) Error() string { return b.err.Error() }
+
+// runQuery admits, prepares, and executes the request. Admission covers
+// planning and execution — both hold snapshot pins and planning may compile
+// predicate vectors over large dimensions — but not response streaming: the
+// slot is released as soon as the result is materialized, so a slow-reading
+// client cannot pin a slot.
+func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*query.Result, string, error) {
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, "", errQueuedTimeout
+		}
+		return nil, "", err // errOverloaded, or canceled by disconnect
+	}
+	defer s.adm.release()
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+
+	var p *db.Prepared
+	var err error
+	if req.SQL != "" {
+		p, err = s.db.PrepareSQL(req.SQL)
+	} else {
+		p, err = s.prepareStructured(req.Query)
+	}
+	if err != nil {
+		return nil, "", badRequest{err}
+	}
+	res, err := p.Exec(ctx)
+	if err != nil {
+		return nil, "", err
+	}
+	return res, p.Fact(), nil
+}
+
+// writeQueryError maps a runQuery error to its response: overload to 503
+// with Retry-After, client mistakes to 400, the execution deadline to 504,
+// client disconnect to 499, anything else to 500.
+func (s *Server) writeQueryError(w http.ResponseWriter, timeout time.Duration, err error) {
+	var br badRequest
+	switch {
+	case errors.Is(err, errOverloaded):
+		s.writeOverloaded(w, "query capacity exhausted")
+	case errors.Is(err, errQueuedTimeout):
+		s.writeOverloaded(w, "queued past the request deadline")
+	case errors.As(err, &br):
+		writeError(w, http.StatusBadRequest, "%v", br.err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "query exceeded its %v deadline", timeout)
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosed, "client closed request")
+	default:
+		writeError(w, http.StatusInternalServerError, "query execution: %v", err)
+	}
+}
+
+// streamResult writes the result as one JSON object, row by row, flushing
+// every FlushRows rows so large group-bys reach the client incrementally
+// instead of buffering server-side:
+//
+//	{"fact":"lineorder","columns":[...],"rows":[[...],...],
+//	 "row_count":N,"elapsed_us":E}
+func (s *Server) streamResult(w http.ResponseWriter, fact string, res *query.Result, elapsed time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	flusher, _ := w.(http.Flusher)
+
+	cols, err := json.Marshal(res.Columns())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode columns: %v", err)
+		return
+	}
+	// From here on the 200 header is out; encoding errors mean the client
+	// went away and are dropped.
+	if _, err := fmt.Fprintf(w, `{"fact":%q,"columns":%s,"rows":[`, fact, cols); err != nil {
+		return
+	}
+	for i := range res.Rows {
+		b, err := res.Rows[i].MarshalJSON()
+		if err != nil {
+			return
+		}
+		if i > 0 {
+			if _, err := w.Write([]byte{','}); err != nil {
+				return
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return
+		}
+		if flusher != nil && (i+1)%s.cfg.FlushRows == 0 {
+			flusher.Flush()
+		}
+	}
+	fmt.Fprintf(w, `],"row_count":%d,"elapsed_us":%d}`+"\n", len(res.Rows), elapsed.Microseconds())
+}
+
+// prepareStructured converts the JSON query into a query.Query and prepares
+// it, routing explicitly when a fact table is named.
+func (s *Server) prepareStructured(jq *jsonQuery) (*db.Prepared, error) {
+	q, err := buildQuery(jq)
+	if err != nil {
+		return nil, err
+	}
+	if jq.Fact != "" {
+		return s.db.PrepareOn(jq.Fact, q)
+	}
+	return s.db.Prepare(q)
+}
+
+var jsonAggKinds = map[string]expr.AggKind{
+	"sum": expr.Sum, "count": expr.Count, "min": expr.Min, "max": expr.Max, "avg": expr.Avg,
+}
+
+// buildQuery translates a jsonQuery into the engine's query model.
+func buildQuery(jq *jsonQuery) (*query.Query, error) {
+	name := jq.Name
+	if name == "" {
+		name = "http"
+	}
+	q := query.New(name)
+	for i := range jq.Where {
+		p, err := buildPred(&jq.Where[i])
+		if err != nil {
+			return nil, err
+		}
+		q.Where(p)
+	}
+	q.GroupByCols(jq.GroupBy...)
+	for _, a := range jq.Aggs {
+		kind, ok := jsonAggKinds[strings.ToLower(a.Kind)]
+		if !ok {
+			return nil, fmt.Errorf("server: unknown aggregate kind %q", a.Kind)
+		}
+		agg := expr.Aggregate{Kind: kind, As: a.As}
+		if a.Expr != "" {
+			e, err := sql.ParseExpr(a.Expr)
+			if err != nil {
+				return nil, fmt.Errorf("server: aggregate expression %q: %v", a.Expr, err)
+			}
+			agg.Expr = e
+		} else if kind != expr.Count {
+			return nil, fmt.Errorf("server: %s aggregate needs an expression", a.Kind)
+		}
+		if agg.As == "" {
+			agg.As = kind.String()
+			if agg.Expr != nil {
+				if cols := expr.Cols(agg.Expr); len(cols) > 0 {
+					agg.As += "_" + cols[0]
+				}
+			}
+		}
+		q.Agg(agg)
+	}
+	for _, o := range jq.OrderBy {
+		if o.Desc {
+			q.OrderDesc(o.Col)
+		} else {
+			q.OrderAsc(o.Col)
+		}
+	}
+	q.WithLimit(jq.Limit)
+	return q, q.Validate()
+}
+
+var jsonOps = map[string]expr.Op{
+	"=": expr.Eq, "==": expr.Eq, "!=": expr.Ne, "<>": expr.Ne,
+	"<": expr.Lt, "<=": expr.Le, ">": expr.Gt, ">=": expr.Ge,
+}
+
+// buildPred translates one structured predicate.
+func buildPred(jp *jsonPred) (expr.Pred, error) {
+	if jp.Col == "" {
+		return expr.Pred{}, fmt.Errorf("server: predicate without a column")
+	}
+	switch op := strings.ToLower(jp.Op); op {
+	case "between":
+		lo, err := toLiteral(jp.Lo, jp.Col)
+		if err != nil {
+			return expr.Pred{}, err
+		}
+		hi, err := toLiteral(jp.Hi, jp.Col)
+		if err != nil {
+			return expr.Pred{}, err
+		}
+		switch {
+		case lo.isStr != hi.isStr:
+			return expr.Pred{}, fmt.Errorf("server: between bounds of mixed types on %s", jp.Col)
+		case lo.isStr:
+			return expr.StrBetween(jp.Col, lo.s, hi.s), nil
+		case lo.isFloat || hi.isFloat:
+			return expr.FloatBetween(jp.Col, lo.float(), hi.float()), nil
+		default:
+			return expr.IntBetween(jp.Col, lo.i, hi.i), nil
+		}
+	case "in":
+		if len(jp.Values) == 0 {
+			return expr.Pred{}, fmt.Errorf("server: in predicate on %s without values", jp.Col)
+		}
+		lits := make([]jsonLiteral, len(jp.Values))
+		for i, v := range jp.Values {
+			l, err := toLiteral(v, jp.Col)
+			if err != nil {
+				return expr.Pred{}, err
+			}
+			if l.isStr != lits[0].isStr && i > 0 {
+				return expr.Pred{}, fmt.Errorf("server: in list of mixed types on %s", jp.Col)
+			}
+			lits[i] = l
+		}
+		if lits[0].isStr {
+			ss := make([]string, len(lits))
+			for i, l := range lits {
+				ss[i] = l.s
+			}
+			return expr.StrIn(jp.Col, ss...), nil
+		}
+		vs := make([]int64, len(lits))
+		for i, l := range lits {
+			if l.isFloat {
+				return expr.Pred{}, fmt.Errorf("server: in list must be integers on %s", jp.Col)
+			}
+			vs[i] = l.i
+		}
+		return expr.IntIn(jp.Col, vs...), nil
+	default:
+		eop, ok := jsonOps[op]
+		if !ok {
+			return expr.Pred{}, fmt.Errorf("server: unknown predicate op %q on %s", jp.Op, jp.Col)
+		}
+		l, err := toLiteral(jp.Value, jp.Col)
+		if err != nil {
+			return expr.Pred{}, err
+		}
+		switch {
+		case l.isStr:
+			return expr.Pred{Col: jp.Col, Op: eop, Kind: expr.KStr, SVal: l.s}, nil
+		case l.isFloat:
+			return expr.Pred{Col: jp.Col, Op: eop, Kind: expr.KFloat, FVal: l.f}, nil
+		default:
+			return expr.Pred{Col: jp.Col, Op: eop, Kind: expr.KInt, IVal: l.i}, nil
+		}
+	}
+}
+
+// jsonLiteral is one decoded predicate literal.
+type jsonLiteral struct {
+	isStr   bool
+	isFloat bool
+	s       string
+	i       int64
+	f       float64
+}
+
+func (l jsonLiteral) float() float64 {
+	if l.isFloat {
+		return l.f
+	}
+	return float64(l.i)
+}
+
+// toLiteral converts a decoded JSON value (string or json.Number, since the
+// request decoder uses UseNumber) into a typed literal.
+func toLiteral(v any, col string) (jsonLiteral, error) {
+	switch x := v.(type) {
+	case nil:
+		return jsonLiteral{}, fmt.Errorf("server: predicate on %s missing a value", col)
+	case string:
+		return jsonLiteral{isStr: true, s: x}, nil
+	case json.Number:
+		if i, err := strconv.ParseInt(x.String(), 10, 64); err == nil {
+			return jsonLiteral{i: i}, nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return jsonLiteral{}, fmt.Errorf("server: bad number %q on %s", x.String(), col)
+		}
+		return jsonLiteral{isFloat: true, f: f}, nil
+	case float64: // defensive: a decoder without UseNumber
+		if x == float64(int64(x)) {
+			return jsonLiteral{i: int64(x)}, nil
+		}
+		return jsonLiteral{isFloat: true, f: x}, nil
+	case bool:
+		return jsonLiteral{}, fmt.Errorf("server: boolean literal on %s is not supported", col)
+	default:
+		return jsonLiteral{}, fmt.Errorf("server: unsupported literal %T on %s", v, col)
+	}
+}

@@ -71,7 +71,7 @@ func lex(src string) ([]token, error) {
 			if err := l.lexString(); err != nil {
 				return nil, err
 			}
-		case strings.ContainsRune("(),*+-/=<>!.", rune(c)):
+		case strings.ContainsRune("(),*+-/=<>!.;", rune(c)):
 			l.lexSymbol()
 		default:
 			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
@@ -81,7 +81,7 @@ func lex(src string) ([]token, error) {
 
 func (l *lexer) skipSpace() {
 	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' ||
-		l.src[l.pos] == '\n' || l.src[l.pos] == '\r' || l.src[l.pos] == ';') {
+		l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
 		l.pos++
 	}
 }

@@ -54,6 +54,27 @@ func ParseStatement(src string) (*Statement, error) {
 	return &Statement{Query: q, Tables: p.tables}, nil
 }
 
+// ParseExpr compiles one arithmetic measure expression — column references,
+// numeric literals, + - * / and parentheses — such as
+// "lo_extendedprice * lo_discount". It is the expression grammar of the
+// SELECT list's aggregate arguments, exposed for callers that build
+// structured queries (the HTTP serving layer's JSON query bodies).
+func ParseExpr(src string) (expr.NumExpr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	e, err := p.parseNumExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input after expression")
+	}
+	return e, nil
+}
+
 type parser struct {
 	toks   []token
 	i      int
@@ -227,8 +248,19 @@ func (p *parser) parseQuery() (*query.Query, error) {
 		q.WithLimit(n)
 	}
 
+	// A statement may close with one or more ';' terminators; anything else
+	// after the statement — a second statement, stray tokens — is rejected
+	// so that input like "SELECT ...; DROP ..." cannot be half-executed
+	// silently.
+	terminated := false
+	for p.acceptSym(";") {
+		terminated = true
+	}
 	if p.cur().kind != tokEOF {
-		return nil, p.errf("unexpected trailing input")
+		if terminated {
+			return nil, p.errf("input after statement terminator ';'")
+		}
+		return nil, p.errf("unexpected trailing input after statement")
 	}
 	return q, nil
 }

@@ -175,6 +175,12 @@ func TestParseErrors(t *testing.T) {
 		{"unterminated", "SELECT count(*) AS n FROM f WHERE s = 'oops", "unterminated string"},
 		{"bad-limit", "SELECT count(*) AS n FROM f LIMIT x", "expected LIMIT count"},
 		{"dup-agg", "SELECT sum(x) AS a, sum(y) AS a FROM f", "duplicate aggregate"},
+		{"second-statement", "SELECT count(*) AS n FROM f GROUP BY x; DROP TABLE f", `input after statement terminator ';' at "DROP"`},
+		{"second-select", "SELECT count(*) AS n FROM f; SELECT count(*) AS n FROM f", "input after statement terminator"},
+		{"semicolon-mid-statement", "SELECT count(*) AS n; FROM f", "expected FROM"},
+		{"semicolon-in-select-list", "SELECT a; b, count(*) AS n FROM f GROUP BY a", "expected FROM"},
+		{"semicolon-in-where", "SELECT count(*) AS n FROM f WHERE a = 1; AND b = 2", "input after statement terminator"},
+		{"garbage-after-group", "SELECT count(*) AS n FROM f GROUP BY x y z", "trailing"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -186,6 +192,46 @@ func TestParseErrors(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestParseStatementTerminator: a trailing ';' (possibly repeated, possibly
+// followed by whitespace) closes a statement; it is the form interactive
+// shells submit.
+func TestParseStatementTerminator(t *testing.T) {
+	for _, src := range []string{
+		"SELECT count(*) AS n FROM f;",
+		"SELECT count(*) AS n FROM f ;",
+		"SELECT count(*) AS n FROM f;;;",
+		"SELECT count(*) AS n FROM f;\n",
+		"SELECT count(*) AS n FROM f WHERE a = 1 GROUP BY b ORDER BY b LIMIT 3;",
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if len(q.Aggs) != 1 || q.Aggs[0].As != "n" {
+			t.Errorf("%q: Aggs = %+v", src, q.Aggs)
+		}
+	}
+}
+
+func TestParseExpr(t *testing.T) {
+	e, err := ParseExpr("lo_extendedprice * lo_discount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := expr.Cols(e); len(cols) != 2 || cols[0] != "lo_extendedprice" || cols[1] != "lo_discount" {
+		t.Fatalf("Cols = %v", cols)
+	}
+	if _, err := ParseExpr("(a + 2) * b - c / 4.5"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "a +", "a b", "sum(a)", "a; b", "a = 1"} {
+		if _, err := ParseExpr(bad); err == nil {
+			t.Errorf("ParseExpr(%q) accepted", bad)
+		}
 	}
 }
 
