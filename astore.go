@@ -93,9 +93,21 @@ type (
 	// Bitmap is a packed bit vector (predicate and deletion vectors).
 	Bitmap = storage.Bitmap
 	// Snapshot is a stable read view of a table (column-granularity
-	// copy-on-write isolation from writers).
+	// copy-on-write isolation from writers; for segmented tables, a pinned
+	// segment-list copy).
 	Snapshot = storage.Snapshot
+	// Segment is one immutable sealed chunk (or the mutable tail) of a
+	// segmented fact table, carrying per-segment columns, a deletion
+	// bitmap, and zone maps. Convert a table with Table.SetSegmentTarget
+	// or open the DB with Options.SegmentRows.
+	Segment = storage.Segment
+	// SegView is a stable per-segment read view (see Table.SegViews).
+	SegView = storage.SegView
 )
+
+// DefaultSegmentRows is the default fact-table segment sealing threshold
+// used by serving layers that segment without an explicit target.
+const DefaultSegmentRows = storage.DefaultSegmentRows
 
 // Query model.
 type (

@@ -22,11 +22,12 @@ import (
 
 func main() {
 	var (
-		schema = flag.String("schema", "ssb", "dataset: ssb, tpch, or tpcds")
-		sf     = flag.Float64("sf", 0.05, "scale factor")
-		seed   = flag.Int64("seed", 1, "generation seed")
-		save   = flag.String("save", "", "write the generated database image to this file")
-		load   = flag.String("load", "", "load a database image instead of generating")
+		schema  = flag.String("schema", "ssb", "dataset: ssb, tpch, or tpcds")
+		sf      = flag.Float64("sf", 0.05, "scale factor")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		save    = flag.String("save", "", "write the generated database image to this file")
+		load    = flag.String("load", "", "load a database image instead of generating")
+		segRows = flag.Int("segment-rows", 0, "segment fact tables at this row target before saving (0 = flat)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,27 @@ func main() {
 		}
 	}
 	genTime := time.Since(t0)
+
+	if *segRows > 0 {
+		// Segment every fact table (a table referenced by no other) so the
+		// saved image carries segment manifests and a serving process
+		// re-opens with sealed segments + zone maps already in place.
+		referenced := make(map[*storage.Table]bool)
+		for _, t := range catalog.Tables() {
+			for _, ref := range t.FKs() {
+				referenced[ref] = true
+			}
+		}
+		for _, t := range catalog.Tables() {
+			if referenced[t] || t.Segmented() {
+				continue
+			}
+			if err := t.SetSegmentTarget(*segRows); err != nil {
+				fmt.Fprintln(os.Stderr, "astore-gen:", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	if *save != "" {
 		f, err := os.Create(*save)

@@ -44,6 +44,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker threads per query (0 = serial)")
 		batchRows = flag.Int("batch-rows", 0, "rows per scan batch (cancellation granularity; 0 = default 64K)")
 		cacheCap  = flag.Int("cache-cap", db.DefaultPlanCacheCap, "plan cache capacity")
+		segRows   = flag.Int("segment-rows", storage.DefaultSegmentRows,
+			"rows per fact-table segment (sealed segments + mutable tail: zone-map pruning, append-stable plans; 0 = flat)")
 
 		maxInFlight = flag.Int("max-inflight", 4, "max concurrently executing queries")
 		maxQueue    = flag.Int("max-queue", 0, "max queued queries (0 = 2*max-inflight)")
@@ -59,13 +61,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	d, err := db.Open(catalog, core.Options{Workers: *workers, BatchRows: *batchRows})
+	d, err := db.Open(catalog, core.Options{Workers: *workers, BatchRows: *batchRows, SegmentRows: *segRows})
 	if err != nil {
 		log.Fatal(err)
 	}
 	d.SetPlanCacheCap(*cacheCap)
 	for _, t := range catalog.Tables() {
-		log.Printf("table %-12s %10d rows  %8.1f MB", t.Name, t.NumRows(), float64(t.MemBytes())/(1<<20))
+		layout := "flat"
+		if sealed, total := t.SegmentCounts(); t.Segmented() {
+			layout = fmt.Sprintf("%d segments (%d sealed)", total, sealed)
+		}
+		log.Printf("table %-12s %10d rows  %8.1f MB  %s", t.Name, t.NumRows(), float64(t.MemBytes())/(1<<20), layout)
 	}
 	log.Printf("serving fact tables %v on %s", d.Facts(), *addr)
 

@@ -190,6 +190,58 @@ func BenchmarkDBPreparedExec(b *testing.B) {
 	}
 }
 
+// BenchmarkDBLiveIngestQ2_3 measures prepared re-execution of SSB Q2.3 on
+// a segmented catalog while a writer appends between executions — the
+// serving shape the segmented layout is built for: appends land in the
+// fact table's mutable tail and the cached plan keeps executing (no
+// recompiles, no evictions). Compare with BenchmarkDBPreparedExec (no
+// ingest) for the cost of live ingest, and with the flat variant below for
+// what append-stable plans buy.
+func BenchmarkDBLiveIngestQ2_3(b *testing.B) {
+	for _, layout := range []struct {
+		name    string
+		segRows int
+	}{
+		{"segmented", 1 << 14},
+		{"flat", 0},
+	} {
+		b.Run(layout.name, func(b *testing.B) {
+			data := ssb.Generate(ssb.Config{SF: benchSF, Seed: 1})
+			db, err := astore.OpenDB(data.DB, astore.Options{Workers: 4, SegmentRows: layout.segRows})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := db.Prepare(ssbQuery(b, "Q2.3"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			row := map[string]any{
+				"lo_custkey": 0, "lo_suppkey": 0, "lo_partkey": 0, "lo_orderdate": 0,
+				"lo_quantity": 1, "lo_discount": 0, "lo_extendedprice": int64(100),
+				"lo_ordtotalprice": int64(100), "lo_revenue": int64(100),
+				"lo_supplycost": int64(10), "lo_tax": 0,
+			}
+			ctx := context.Background()
+			if _, err := p.Exec(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := data.Lineorder.Insert(row); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.Exec(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := db.Stats()
+			b.ReportMetric(float64(st.PlanStale), "recompiles")
+			b.ReportMetric(float64(st.SegmentsPruned), "segs_pruned")
+		})
+	}
+}
+
 // BenchmarkDBColdRun measures the cold path on the same query: routing,
 // schema resolution, and full planning on every execution.
 func BenchmarkDBColdRun(b *testing.B) {

@@ -105,20 +105,25 @@ func (e *Engine) RunContext(ctx context.Context, q *query.Query, stats *Stats) (
 	if err != nil {
 		return nil, err
 	}
-	return e.exec(ctx, pl, stats)
+	return e.exec(ctx, pl, nil, stats)
 }
 
-// exec runs a compiled plan with fresh per-run state.
-func (e *Engine) exec(ctx context.Context, pl *plan, stats *Stats) (*query.Result, error) {
+// exec runs a compiled plan with fresh per-run state over the given root
+// segment views (the views of the execution's snapshot — which may be newer
+// than the state the plan was compiled against, for segmented roots).
+func (e *Engine) exec(ctx context.Context, pl *plan, segs []storage.SegView, stats *Stats) (*query.Result, error) {
 	rs := &runState{stats: pl.stats}
 	rs.stats.LeafNS = pl.leafNS
+	if segs == nil {
+		segs = pl.planSegs
+	}
 
 	var res *query.Result
 	var err error
 	if pl.variant.rowWise() {
-		res, err = pl.runRowWise(ctx, rs)
+		res, err = pl.runRowWise(ctx, segs, rs)
 	} else {
-		res, err = pl.runColumnar(ctx, rs)
+		res, err = pl.runColumnar(ctx, segs, rs)
 	}
 	if err != nil {
 		return nil, err
@@ -129,17 +134,26 @@ func (e *Engine) exec(ctx context.Context, pl *plan, stats *Stats) (*query.Resul
 	return res, nil
 }
 
+// TableVersions are one table's structural and data mutation counters as
+// observed by a pinned view.
+type TableVersions struct {
+	Schema uint64
+	Data   uint64
+}
+
 // View is a pinned, consistent snapshot of every table reachable from the
-// engine's root: frozen column arrays, a join graph over the frozen tables,
-// and the per-table versions at pin time. While a View is held, writers
-// copy-on-write instead of mutating shared arrays, so plans compiled on the
-// View read a stable database state. Release must be called on every exit
-// path so the tables' pin counts return to zero.
+// engine's root: frozen column arrays (per-segment for segmented roots), a
+// join graph over the frozen tables, and the per-table versions at pin
+// time. While a View is held, writers copy-on-write instead of mutating
+// shared arrays, so plans compiled on the View read a stable database
+// state. Release must be called on every exit path so the tables' pin
+// counts return to zero.
 type View struct {
 	eng      *Engine
 	root     *storage.Table
+	rootSegs []storage.SegView
 	graph    *schema.Graph // built lazily: only a Compile needs it
-	versions map[string]uint64
+	versions map[string]TableVersions
 	release  func()
 }
 
@@ -149,11 +163,18 @@ type View struct {
 // snapshot pin and the version stamps.
 func (e *Engine) Acquire() (*View, error) {
 	frozen, release := storage.SnapshotSet(e.graph.Tables())
-	versions := make(map[string]uint64, len(frozen))
+	versions := make(map[string]TableVersions, len(frozen))
 	for live, f := range frozen {
-		versions[live.Name] = f.Version()
+		versions[live.Name] = TableVersions{Schema: f.SchemaVersion(), Data: f.DataVersion()}
 	}
-	return &View{eng: e, root: frozen[e.root], versions: versions, release: release}, nil
+	root := frozen[e.root]
+	return &View{
+		eng:      e,
+		root:     root,
+		rootSegs: root.SegViews(),
+		versions: versions,
+		release:  release,
+	}, nil
 }
 
 // Release unpins the view's snapshots. It is idempotent.
@@ -165,17 +186,27 @@ func (v *View) Release() {
 }
 
 // Versions returns the per-table mutation counters observed at pin time.
-func (v *View) Versions() map[string]uint64 { return v.versions }
+func (v *View) Versions() map[string]TableVersions { return v.versions }
+
+// RootSegments returns the pinned segment views of the view's root table.
+func (v *View) RootSegments() []storage.SegView { return v.rootSegs }
 
 // Compiled is a fully planned query that can be executed many times, by
-// many goroutines concurrently. It captures the column arrays, predicate
-// vectors, and group vectors of the state it was compiled against, plus the
-// table versions of that state: the plan is valid for execution exactly
-// while a pinned View reports the same versions (copy-on-write guarantees
-// equal versions mean identical arrays).
+// many goroutines concurrently. It captures the dimension-side state
+// (predicate vectors, group vectors, evaluator recipes) of the view it was
+// compiled against, plus the table versions of that state.
+//
+// Plan freshness distinguishes structure from data: any SchemaVersion
+// change invalidates the plan; DataVersion changes invalidate it only for
+// tables whose arrays the plan captured directly — dimensions and flat
+// roots. A segmented root binds its arrays per segment at execution time,
+// so fact appends (and deletes) leave the plan valid as long as the zone
+// maps prove every segment's values still fall inside the compiled ranges
+// (FK bounds and dense group-id ranges).
 type Compiled struct {
 	pl       *plan
-	versions map[string]uint64
+	versions map[string]TableVersions
+	rootName string
 }
 
 // Compile plans q against the view's frozen tables. A View is used by one
@@ -192,30 +223,49 @@ func (v *View) Compile(q *query.Query) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{pl: pl, versions: v.versions}, nil
+	return &Compiled{pl: pl, versions: v.versions, rootName: v.root.Name}, nil
 }
 
 // Versions returns the per-table versions the plan was compiled at.
-func (c *Compiled) Versions() map[string]uint64 { return c.versions }
+func (c *Compiled) Versions() map[string]TableVersions { return c.versions }
+
+// Segmented reports whether the plan was compiled against a segmented root.
+func (c *Compiled) Segmented() bool { return c.pl.segmented }
 
 // FreshIn reports whether the compiled plan is still valid for execution
-// under the given view: every table the plan can read is at the version it
-// was compiled at.
+// under the given view. Schema changes always invalidate; data changes
+// invalidate dimensions and flat roots (whose arrays the plan captured),
+// while a segmented root stays fresh across appends, deletes, and
+// copy-on-write updates as long as zone maps prove every segment's values
+// remain inside the plan's compiled ranges.
 func (c *Compiled) FreshIn(v *View) bool {
 	if len(c.versions) != len(v.versions) {
 		return false
 	}
 	for name, ver := range c.versions {
-		if got, ok := v.versions[name]; !ok || got != ver {
+		got, ok := v.versions[name]
+		if !ok || got.Schema != ver.Schema {
+			return false
+		}
+		if name == c.rootName && c.pl.segmented {
+			continue // data freshness established by rootCovered below
+		}
+		if got.Data != ver.Data {
 			return false
 		}
 	}
-	return true
+	return c.pl.rootCovered(v.rootSegs)
 }
 
-// Exec executes a compiled plan. The caller is responsible for holding a
-// View in which the plan is fresh (FreshIn) for the duration of the call;
-// ctx cancellation is honored at scan-batch boundaries.
-func (e *Engine) Exec(ctx context.Context, c *Compiled, stats *Stats) (*query.Result, error) {
-	return e.exec(ctx, c.pl, stats)
+// Exec executes a compiled plan against the view's pinned root segments.
+// The caller is responsible for holding a View in which the plan is fresh
+// (FreshIn) for the duration of the call; ctx cancellation is honored at
+// scan-batch boundaries. A nil view executes against the state the plan
+// was compiled on.
+func (e *Engine) Exec(ctx context.Context, v *View, c *Compiled, stats *Stats) (*query.Result, error) {
+	var segs []storage.SegView
+	if v != nil {
+		segs = v.rootSegs
+	}
+	return e.exec(ctx, c.pl, segs, stats)
 }

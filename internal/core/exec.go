@@ -9,6 +9,7 @@ import (
 	"astore/internal/agg"
 	"astore/internal/expr"
 	"astore/internal/query"
+	"astore/internal/storage"
 )
 
 // runState is the mutable per-execution state of one plan run. It is
@@ -19,13 +20,28 @@ type runState struct {
 	stats Stats
 }
 
-// span is one horizontal partition of the root (fact) table. The engine
-// over-partitions (Workers × PartitionsPerWorker spans) and lets workers
-// pull spans from a queue, which is the paper's load-balancing scheme of
-// allocating more logical partitions than physical threads (§5).
+// morsel is one unit of scan work: a local row range [lo, hi) of one
+// segment. The engine over-partitions (Workers × PartitionsPerWorker
+// morsels, at least one per scan batch) and lets workers pull morsels from
+// a queue, which is the paper's load-balancing scheme of allocating more
+// logical partitions than physical threads (§5) — now segment-granular, so
+// a morsel never straddles segments and zone-map pruning drops whole
+// segments before any morsel is enqueued.
+type morsel struct {
+	si     int // index into the execution's kept-segment list
+	lo, hi int // local row range within the segment
+}
+
+// execSeg is one segment admitted to the scan, with its bound state.
+type execSeg struct {
+	sv *storage.SegView
+	st *segState
+}
+
+// makeSpans splits [0, n) into at most count near-equal spans; it remains
+// the building block for morsel generation within one segment.
 type span struct{ lo, hi int }
 
-// makeSpans splits [0, n) into at most count near-equal spans.
 func makeSpans(n, count int) []span {
 	if count < 1 {
 		count = 1
@@ -59,7 +75,7 @@ type partial struct {
 	scanNS, aggNS     int64
 	scanned, selected int64
 
-	// Reused per-span buffers.
+	// Reused per-morsel buffers.
 	sel   []int32
 	mi    []int32
 	cells []*agg.Cell
@@ -80,37 +96,133 @@ func (pl *plan) newPartial() (*partial, error) {
 	return p, nil
 }
 
-// spanCount returns the number of spans for the scan: enough for the
-// over-partitioned parallel schedule, and enough that no span exceeds the
+// admitSegments applies zone-map pruning over the root's segment views: a
+// segment is skipped when any filter proves, from the segment's min/max
+// zones, that no row can match. Pruning decisions are per segment and per
+// predicate, before any row work (including the row-wise variants). The
+// surviving segments are bound (cached bindings for sealed segments).
+func (pl *plan) admitSegments(segs []storage.SegView, rs *runState) ([]execSeg, error) {
+	kept := make([]execSeg, 0, len(segs))
+	rs.stats.SegmentsTotal += len(segs)
+	for i := range segs {
+		sv := &segs[i]
+		if sv.N == 0 {
+			rs.stats.SegmentsPruned++
+			continue
+		}
+		pruned := false
+		for fi := range pl.filters {
+			if !pl.filters[fi].mayMatchSegment(sv) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			rs.stats.SegmentsPruned++
+			continue
+		}
+		st, err := pl.segStateFor(sv)
+		if err != nil {
+			return nil, err
+		}
+		kept = append(kept, execSeg{sv: sv, st: st})
+	}
+	pl.pruneSegCache(segs)
+	return kept, nil
+}
+
+// pruneSegCache bounds the sealed-segment binding cache: entries whose
+// (segment, epoch) no longer appears in the current execution's view are
+// stale — the segment was copy-on-write-updated, rewritten by
+// consolidation, or discarded entirely — and would otherwise pin their
+// replaced column arrays for the life of the cached plan. Eviction only
+// runs when the cache outgrows the live segment count, so steady-state
+// executions pay one map-length check.
+func (pl *plan) pruneSegCache(segs []storage.SegView) {
+	pl.segMu.Lock()
+	defer pl.segMu.Unlock()
+	if len(pl.segCache) <= len(segs)+16 {
+		return
+	}
+	live := make(map[segKey]bool, len(segs))
+	for i := range segs {
+		if segs[i].Seg != nil {
+			live[segKey{seg: segs[i].Seg, epoch: segs[i].Epoch}] = true
+		}
+	}
+	for key := range pl.segCache {
+		if !live[key] {
+			delete(pl.segCache, key)
+		}
+	}
+}
+
+// morselCount returns the number of morsels for the scan: enough for the
+// over-partitioned parallel schedule, and enough that no morsel exceeds the
 // batch-row bound, which is the granularity of cancellation checks.
-func (pl *plan) spanCount() int {
+func (pl *plan) morselCount(totalRows int) int {
 	count := pl.opt.Workers * pl.opt.PartitionsPerWorker
-	if batches := (pl.rootN + pl.opt.BatchRows - 1) / pl.opt.BatchRows; batches > count {
+	if batches := (totalRows + pl.opt.BatchRows - 1) / pl.opt.BatchRows; batches > count {
 		count = batches
 	}
 	return count
 }
 
+// makeMorsels slices every admitted segment into near-equal local row
+// ranges, bounded by the batch size.
+func (pl *plan) makeMorsels(kept []execSeg) []morsel {
+	total := 0
+	for _, es := range kept {
+		total += es.sv.N
+	}
+	if total == 0 {
+		return nil
+	}
+	count := pl.morselCount(total)
+	chunk := (total + count - 1) / count
+	if chunk > pl.opt.BatchRows {
+		chunk = pl.opt.BatchRows
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	var ms []morsel
+	for si, es := range kept {
+		for lo := 0; lo < es.sv.N; lo += chunk {
+			hi := lo + chunk
+			if hi > es.sv.N {
+				hi = es.sv.N
+			}
+			ms = append(ms, morsel{si: si, lo: lo, hi: hi})
+		}
+	}
+	return ms
+}
+
 // runColumnar executes the plan with the vector-based column-wise scan
-// (§4.1), in parallel when Workers > 1.
-func (pl *plan) runColumnar(ctx context.Context, rs *runState) (*query.Result, error) {
-	spans := makeSpans(pl.rootN, pl.spanCount())
-	process := func(p *partial, sp span) { pl.processSpanColumnar(p, sp) }
-	total, err := pl.runParallel(ctx, spans, process, rs)
+// (§4.1), in parallel when Workers > 1, over the given root segment views.
+func (pl *plan) runColumnar(ctx context.Context, segs []storage.SegView, rs *runState) (*query.Result, error) {
+	kept, err := pl.admitSegments(segs, rs)
+	if err != nil {
+		return nil, err
+	}
+	morsels := pl.makeMorsels(kept)
+	process := func(p *partial, m morsel) { pl.processMorselColumnar(p, kept[m.si], m.lo, m.hi) }
+	total, err := pl.runParallel(ctx, morsels, process, rs)
 	if err != nil {
 		return nil, err
 	}
 	return pl.extract(total, rs)
 }
 
-// runParallel drives workers over the span queue and merges their partials.
-// Cancellation is checked between spans: a cancelled context makes every
-// worker stop at its next span boundary and the run returns ctx.Err() with
-// all pooled aggregation arrays returned.
-func (pl *plan) runParallel(ctx context.Context, spans []span, process func(*partial, span), rs *runState) (*partial, error) {
+// runParallel drives workers over the morsel queue and merges their
+// partials. Cancellation is checked between morsels: a cancelled context
+// makes every worker stop at its next morsel boundary and the run returns
+// ctx.Err() with all pooled aggregation arrays returned.
+func (pl *plan) runParallel(ctx context.Context, morsels []morsel, process func(*partial, morsel), rs *runState) (*partial, error) {
 	workers := pl.opt.Workers
-	if workers > len(spans) {
-		workers = len(spans)
+	if workers > len(morsels) {
+		workers = len(morsels)
 	}
 	done := ctx.Done()
 	if workers <= 1 {
@@ -118,14 +230,14 @@ func (pl *plan) runParallel(ctx context.Context, spans []span, process func(*par
 		if err != nil {
 			return nil, err
 		}
-		for _, sp := range spans {
+		for _, m := range morsels {
 			if done != nil {
 				if err := ctx.Err(); err != nil {
 					pl.eng.putArray(p.arr)
 					return nil, err
 				}
 			}
-			process(p, sp)
+			process(p, m)
 		}
 		rs.stats.ScanNS += p.scanNS
 		rs.stats.AggNS += p.aggNS
@@ -134,9 +246,9 @@ func (pl *plan) runParallel(ctx context.Context, spans []span, process func(*par
 		return p, nil
 	}
 
-	queue := make(chan span, len(spans))
-	for _, sp := range spans {
-		queue <- sp
+	queue := make(chan morsel, len(morsels))
+	for _, m := range morsels {
+		queue <- m
 	}
 	close(queue)
 
@@ -154,11 +266,11 @@ func (pl *plan) runParallel(ctx context.Context, spans []span, process func(*par
 		wg.Add(1)
 		go func(p *partial) {
 			defer wg.Done()
-			for sp := range queue {
+			for m := range queue {
 				if done != nil && ctx.Err() != nil {
 					return
 				}
-				process(p, sp)
+				process(p, m)
 			}
 		}(p)
 	}
@@ -204,35 +316,36 @@ func (pl *plan) runParallel(ctx context.Context, spans []span, process func(*par
 	return total, nil
 }
 
-// processSpanColumnar runs phases 2 and 3 for one fact-table partition:
-// selection-vector refinement, measure-index generation, and measure
-// aggregation.
-func (pl *plan) processSpanColumnar(p *partial, sp span) {
+// processMorselColumnar runs phases 2 and 3 for one morsel: selection-vector
+// refinement, measure-index generation, and measure aggregation. All row
+// indexes are segment-local; the segment's bound state supplies the arrays.
+func (pl *plan) processMorselColumnar(p *partial, es execSeg, lo, hi int) {
 	t0 := time.Now()
-	p.scanned += int64(sp.hi - sp.lo)
+	p.scanned += int64(hi - lo)
+	st := es.st
 
 	// Phase 2a: scan-and-filter with a shrinking selection vector.
 	sel := p.sel[:0]
-	if pl.rootDel == nil {
-		for r := sp.lo; r < sp.hi; r++ {
+	if del := es.sv.Del; del == nil {
+		for r := lo; r < hi; r++ {
 			sel = append(sel, int32(r))
 		}
 	} else {
-		for r := sp.lo; r < sp.hi; r++ {
-			if !pl.rootDel.Get(r) {
+		for r := lo; r < hi; r++ {
+			if !del.Get(r) {
 				sel = append(sel, int32(r))
 			}
 		}
 	}
-	for i := range pl.filters {
+	for i := range st.filters {
 		if len(sel) == 0 {
 			break
 		}
-		f := &pl.filters[i]
-		if f.root != nil {
-			sel = f.root.filt(sel)
+		f := &st.filters[i]
+		if f.filt != nil {
+			sel = f.filt(sel)
 		} else {
-			sel = filterProbe(f.probe, sel)
+			sel = filterProbe(f, sel)
 		}
 	}
 
@@ -240,13 +353,13 @@ func (pl *plan) processSpanColumnar(p *partial, sp span) {
 	// the hash backend, grouping (bucket location) is aggregation work and
 	// is accounted to phase 3, matching the paper's Fig. 10 stage split.
 	if pl.useArray {
-		sel = pl.groupArray(p, sel)
+		sel = pl.groupArray(p, st, sel)
 		p.sel = sel
 		p.selected += int64(len(sel))
 		p.scanNS += time.Since(t0).Nanoseconds()
 
 		t1 := time.Now()
-		pl.aggregateArray(p, sel)
+		aggregateArray(p, st, sel)
 		p.aggNS += time.Since(t1).Nanoseconds()
 		return
 	}
@@ -254,21 +367,21 @@ func (pl *plan) processSpanColumnar(p *partial, sp span) {
 
 	// Phase 3 (hash backend): grouping and aggregation.
 	t1 := time.Now()
-	sel = pl.groupHash(p, sel)
+	sel = pl.groupHash(p, st, sel)
 	p.sel = sel
 	p.selected += int64(len(sel))
-	pl.aggregateHash(p, sel)
+	aggregateHash(p, st, sel)
 	p.aggNS += time.Since(t1).Nanoseconds()
 }
 
 // filterProbe refines the selection vector through one probe filter,
 // following the AIR chain and testing the predicate vector bit (or the
 // direct matcher).
-func filterProbe(f *probeFilter, sel []int32) []int32 {
+func filterProbe(f *boundFilter, sel []int32) []int32 {
 	out := sel[:0]
-	if f.vec != nil && len(f.fks) == 1 {
-		fk := f.fks[0]
-		vec := f.vec
+	if f.probe.vec != nil && len(f.probe.dimFKs) == 0 {
+		fk := f.fk0
+		vec := f.probe.vec
 		for _, r := range sel {
 			if vec.Get(int(fk[r])) {
 				out = append(out, r)
@@ -288,7 +401,7 @@ func filterProbe(f *probeFilter, sel []int32) []int32 {
 // indexes, processing one grouping column at a time (column-wise grouping,
 // Fig. 6). Rows whose group vector entry is null are dropped from the
 // selection vector.
-func (pl *plan) groupArray(p *partial, sel []int32) []int32 {
+func (pl *plan) groupArray(p *partial, st *segState, sel []int32) []int32 {
 	if cap(p.mi) < len(sel) {
 		p.mi = make([]int32, len(sel))
 	}
@@ -298,8 +411,8 @@ func (pl *plan) groupArray(p *partial, sel []int32) []int32 {
 	}
 	mult := p.arr.Mult()
 	dead := false
-	for k, d := range pl.dims {
-		dead = accumulateDim(d, sel, mi, mult[k]) || dead
+	for k := range st.dims {
+		dead = accumulateDim(&st.dims[k], sel, mi, mult[k]) || dead
 	}
 	if dead {
 		keep := sel[:0]
@@ -322,12 +435,13 @@ func (pl *plan) groupArray(p *partial, sel []int32) []int32 {
 
 // accumulateDim folds one grouping column's dense ids into the measure
 // index. Returns true if any row hit a null group (marked -1).
-func accumulateDim(d *groupDim, sel []int32, mi []int32, mult int32) bool {
+func accumulateDim(b *boundDim, sel []int32, mi []int32, mult int32) bool {
+	d := b.d
 	dead := false
 	switch d.kind {
 	case gdLeafVec:
-		if len(d.fks) == 1 {
-			fk := d.fks[0]
+		if len(d.dimFKs) == 0 {
+			fk := b.fk0
 			vec := d.vec
 			for j, r := range sel {
 				if mi[j] < 0 {
@@ -347,8 +461,8 @@ func accumulateDim(d *groupDim, sel []int32, mi []int32, mult int32) bool {
 			if mi[j] < 0 {
 				continue
 			}
-			x := r
-			for _, fk := range d.fks {
+			x := b.fk0[r]
+			for _, fk := range d.dimFKs {
 				x = fk[x]
 			}
 			id := d.vec[x]
@@ -360,7 +474,7 @@ func accumulateDim(d *groupDim, sel []int32, mi []int32, mult int32) bool {
 			mi[j] += id * mult
 		}
 	case gdRootDict:
-		codes := d.codes
+		codes := b.codes
 		for j, r := range sel {
 			if mi[j] >= 0 {
 				mi[j] += codes[r] * mult
@@ -368,23 +482,23 @@ func accumulateDim(d *groupDim, sel []int32, mi []int32, mult int32) bool {
 		}
 	default: // gdRootNum
 		switch {
-		case d.i32 != nil:
-			v := d.i32
+		case b.i32 != nil:
+			v := b.i32
 			base := int32(d.base)
 			for j, r := range sel {
 				if mi[j] >= 0 {
 					mi[j] += (v[r] - base) * mult
 				}
 			}
-		case d.i64 != nil:
-			v := d.i64
+		case b.i64 != nil:
+			v := b.i64
 			for j, r := range sel {
 				if mi[j] >= 0 {
 					mi[j] += int32(v[r]-d.base) * mult
 				}
 			}
 		default:
-			v := d.f64
+			v := b.f64
 			for j, r := range sel {
 				if mi[j] >= 0 {
 					mi[j] += int32(int64(v[r])-d.base) * mult
@@ -397,7 +511,7 @@ func accumulateDim(d *groupDim, sel []int32, mi []int32, mult int32) bool {
 
 // groupHash assigns each selected row its hash-aggregation cell, keyed by
 // the packed dense group ids (stable across workers, so partials merge).
-func (pl *plan) groupHash(p *partial, sel []int32) []int32 {
+func (pl *plan) groupHash(p *partial, st *segState, sel []int32) []int32 {
 	if cap(p.cells) < len(sel) {
 		p.cells = make([]*agg.Cell, len(sel))
 	}
@@ -407,8 +521,8 @@ func (pl *plan) groupHash(p *partial, sel []int32) []int32 {
 	kept := cells[:0]
 	for _, r := range sel {
 		ok := true
-		for k, d := range pl.dims {
-			id := d.id(r)
+		for k := range st.dims {
+			id := st.dims[k].id(r)
 			if id < 0 {
 				ok = false
 				break
@@ -430,31 +544,32 @@ func (pl *plan) groupHash(p *partial, sel []int32) []int32 {
 
 // aggregateArray is phase 3 over the aggregation array: each measure column
 // is scanned only at the positions recorded in the measure index.
-func (pl *plan) aggregateArray(p *partial, sel []int32) {
+func aggregateArray(p *partial, st *segState, sel []int32) {
 	mi := p.mi
-	for k, ap := range pl.aggs {
-		if ap.agg.Expr == nil {
+	for k := range st.aggs {
+		ba := &st.aggs[k]
+		if ba.ap.agg.Expr == nil {
 			continue // COUNT(*): counts were maintained in groupArray
 		}
 		vals := p.arr.Vals(k)
-		switch ap.kind {
+		switch ba.ap.kind {
 		case expr.Sum, expr.Avg:
-			if ap.sumLoop(vals, sel, mi) {
+			if ba.sumLoop(vals, sel, mi) {
 				continue
 			}
-			ev := ap.eval
+			ev := ba.eval
 			for j, r := range sel {
 				vals[mi[j]] += ev(r)
 			}
 		case expr.Min:
-			ev := ap.eval
+			ev := ba.eval
 			for j, r := range sel {
 				if v := ev(r); v < vals[mi[j]] {
 					vals[mi[j]] = v
 				}
 			}
 		case expr.Max:
-			ev := ap.eval
+			ev := ba.eval
 			for j, r := range sel {
 				if v := ev(r); v > vals[mi[j]] {
 					vals[mi[j]] = v
@@ -469,25 +584,25 @@ func (pl *plan) aggregateArray(p *partial, sel []int32) {
 // sumLoop runs the recognized dense fast path for Sum/Avg accumulation,
 // returning false when the expression shape or column types are not
 // specialized.
-func (ap *aggPlan) sumLoop(vals []float64, sel, mi []int32) bool {
-	if !ap.fastPath {
+func (ba *boundAgg) sumLoop(vals []float64, sel, mi []int32) bool {
+	if !ba.fast {
 		return false
 	}
-	switch ap.form {
+	switch ba.ap.form {
 	case expr.FCol:
 		switch {
-		case ap.aI64 != nil:
-			a := ap.aI64
+		case ba.aI64 != nil:
+			a := ba.aI64
 			for j, r := range sel {
 				vals[mi[j]] += float64(a[r])
 			}
-		case ap.aI32 != nil:
-			a := ap.aI32
+		case ba.aI32 != nil:
+			a := ba.aI32
 			for j, r := range sel {
 				vals[mi[j]] += float64(a[r])
 			}
-		case ap.aF64 != nil:
-			a := ap.aF64
+		case ba.aF64 != nil:
+			a := ba.aF64
 			for j, r := range sel {
 				vals[mi[j]] += a[r]
 			}
@@ -496,23 +611,23 @@ func (ap *aggPlan) sumLoop(vals []float64, sel, mi []int32) bool {
 		}
 	case expr.FMulCols:
 		switch {
-		case ap.aI64 != nil && ap.bI32 != nil:
-			a, b := ap.aI64, ap.bI32
+		case ba.aI64 != nil && ba.bI32 != nil:
+			a, b := ba.aI64, ba.bI32
 			for j, r := range sel {
 				vals[mi[j]] += float64(a[r] * int64(b[r]))
 			}
-		case ap.aI64 != nil && ap.bI64 != nil:
-			a, b := ap.aI64, ap.bI64
+		case ba.aI64 != nil && ba.bI64 != nil:
+			a, b := ba.aI64, ba.bI64
 			for j, r := range sel {
 				vals[mi[j]] += float64(a[r] * b[r])
 			}
-		case ap.aI32 != nil && ap.bI32 != nil:
-			a, b := ap.aI32, ap.bI32
+		case ba.aI32 != nil && ba.bI32 != nil:
+			a, b := ba.aI32, ba.bI32
 			for j, r := range sel {
 				vals[mi[j]] += float64(int64(a[r]) * int64(b[r]))
 			}
-		case ap.aF64 != nil && ap.bF64 != nil:
-			a, b := ap.aF64, ap.bF64
+		case ba.aF64 != nil && ba.bF64 != nil:
+			a, b := ba.aF64, ba.bF64
 			for j, r := range sel {
 				vals[mi[j]] += a[r] * b[r]
 			}
@@ -521,13 +636,13 @@ func (ap *aggPlan) sumLoop(vals []float64, sel, mi []int32) bool {
 		}
 	case expr.FSubCols:
 		switch {
-		case ap.aI64 != nil && ap.bI64 != nil:
-			a, b := ap.aI64, ap.bI64
+		case ba.aI64 != nil && ba.bI64 != nil:
+			a, b := ba.aI64, ba.bI64
 			for j, r := range sel {
 				vals[mi[j]] += float64(a[r] - b[r])
 			}
-		case ap.aI32 != nil && ap.bI32 != nil:
-			a, b := ap.aI32, ap.bI32
+		case ba.aI32 != nil && ba.bI32 != nil:
+			a, b := ba.aI32, ba.bI32
 			for j, r := range sel {
 				vals[mi[j]] += float64(a[r] - b[r])
 			}
@@ -536,13 +651,13 @@ func (ap *aggPlan) sumLoop(vals []float64, sel, mi []int32) bool {
 		}
 	case expr.FMulOneMinus:
 		switch {
-		case ap.aF64 != nil && ap.bF64 != nil:
-			a, b := ap.aF64, ap.bF64
+		case ba.aF64 != nil && ba.bF64 != nil:
+			a, b := ba.aF64, ba.bF64
 			for j, r := range sel {
 				vals[mi[j]] += a[r] * (1 - b[r])
 			}
-		case ap.aI64 != nil && ap.bF64 != nil:
-			a, b := ap.aI64, ap.bF64
+		case ba.aI64 != nil && ba.bF64 != nil:
+			a, b := ba.aI64, ba.bF64
 			for j, r := range sel {
 				vals[mi[j]] += float64(a[r]) * (1 - b[r])
 			}
@@ -556,15 +671,16 @@ func (ap *aggPlan) sumLoop(vals []float64, sel, mi []int32) bool {
 }
 
 // aggregateHash is phase 3 over the hash backend.
-func (pl *plan) aggregateHash(p *partial, sel []int32) {
+func aggregateHash(p *partial, st *segState, sel []int32) {
 	kinds := p.h.Kinds()
-	for k, ap := range pl.aggs {
-		if ap.agg.Expr == nil {
+	for k := range st.aggs {
+		ba := &st.aggs[k]
+		if ba.ap.agg.Expr == nil {
 			continue
 		}
-		ev := ap.eval
+		ev := ba.eval
 		cells := p.cells
-		switch ap.kind {
+		switch ba.ap.kind {
 		case expr.Sum, expr.Avg:
 			for j, r := range sel {
 				cells[j].Vals[k] += ev(r)
@@ -586,6 +702,16 @@ func (pl *plan) extract(total *partial, rs *runState) (*query.Result, error) {
 	}
 	for k, ap := range pl.aggs {
 		res.AggNames[k] = ap.agg.As
+	}
+
+	if total == nil {
+		// Every segment pruned: an empty, well-formed result.
+		rs.stats.Groups = 0
+		if err := res.Sort(pl.q.OrderBy); err != nil {
+			return nil, err
+		}
+		res.Truncate(pl.q.Limit)
+		return res, nil
 	}
 
 	if total.arr != nil {

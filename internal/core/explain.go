@@ -9,11 +9,12 @@ import (
 )
 
 // Explain compiles the query and renders the resulting plan: the unified
-// filter order with selectivities, the predicate vectors built (and what
-// was folded into them), the group dimensions with their cardinalities,
-// the aggregation backend choice, and the recognized measure fast paths.
-// Explain performs the leaf-processing phase (predicate and group vectors
-// are actually built) but scans nothing.
+// filter order with selectivities and per-filter zone-map pruning
+// decisions, the predicate vectors built (and what was folded into them),
+// the group dimensions with their cardinalities, the aggregation backend
+// choice, and the recognized measure fast paths. Explain performs the
+// leaf-processing phase (predicate and group vectors are actually built)
+// and consults the root's zone maps, but scans nothing.
 func (e *Engine) Explain(q *query.Query) (string, error) {
 	pl, err := e.plan(q)
 	if err != nil {
@@ -21,16 +22,60 @@ func (e *Engine) Explain(q *query.Query) (string, error) {
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "plan %s (variant %s, workers %d)\n", q.Name, pl.variant, pl.opt.Workers)
-	fmt.Fprintf(&sb, "scan %s: %d rows\n", pl.root.Name, pl.rootN)
+	if pl.segmented {
+		sealed := 0
+		for i := range pl.planSegs {
+			if pl.planSegs[i].Sealed {
+				sealed++
+			}
+		}
+		fmt.Fprintf(&sb, "scan %s: %d rows in %d segments (%d sealed + tail)\n",
+			pl.root.Name, pl.rootN, len(pl.planSegs), sealed)
+	} else {
+		fmt.Fprintf(&sb, "scan %s: %d rows\n", pl.root.Name, pl.rootN)
+	}
+
+	// Zone-map pruning decisions: per filter, how many segments survive
+	// its zone test alone; then the combined admission decision.
+	total := len(pl.planSegs)
+	nonEmpty := 0
+	for i := range pl.planSegs {
+		if pl.planSegs[i].N > 0 {
+			nonEmpty++
+		}
+	}
+	perFilterKept := make([]int, len(pl.filters))
+	combinedKept := 0
+	for i := range pl.planSegs {
+		sv := &pl.planSegs[i]
+		if sv.N == 0 {
+			continue
+		}
+		all := true
+		for fi := range pl.filters {
+			if pl.filters[fi].mayMatchSegment(sv) {
+				perFilterKept[fi]++
+			} else {
+				all = false
+			}
+		}
+		if all {
+			combinedKept++
+		}
+	}
 
 	if len(pl.filters) == 0 {
 		sb.WriteString("filters: none\n")
 	} else {
 		sb.WriteString("filters (most selective first):\n")
 		for i, f := range pl.filters {
+			prune := ""
+			if pl.segmented {
+				prune = fmt.Sprintf("  segments: %d/%d after prune", perFilterKept[i], total)
+			}
 			if f.root != nil {
-				fmt.Fprintf(&sb, "  %d. scan  %-40s est sel %.4f\n",
-					i+1, f.root.pred.String(), f.root.sel)
+				fmt.Fprintf(&sb, "  %d. scan  %-40s est sel %.4f%s\n",
+					i+1, f.root.pred.String(), f.root.sel, prune)
 				continue
 			}
 			kind := "probe (direct)"
@@ -39,9 +84,13 @@ func (e *Engine) Explain(q *query.Query) (string, error) {
 				kind = "probe (predicate vector)"
 				sel = fmt.Sprintf("sel %.4f", f.probe.sel)
 			}
-			fmt.Fprintf(&sb, "  %d. %-24s %-15s via %d AIR hop(s), %s\n",
-				i+1, kind, f.probe.table, len(f.probe.fks), sel)
+			fmt.Fprintf(&sb, "  %d. %-24s %-15s via %d AIR hop(s), %s%s\n",
+				i+1, kind, f.probe.table, 1+len(f.probe.dimFKs), sel, prune)
 		}
+	}
+	if pl.segmented {
+		fmt.Fprintf(&sb, "segment admission: %d/%d segments scanned (%d pruned by zone maps, %d empty)\n",
+			combinedKept, total, nonEmpty-combinedKept, total-nonEmpty)
 	}
 	if len(pl.stats.PrefilterTables) > 0 {
 		fmt.Fprintf(&sb, "predicate vectors on: %s (deeper filters folded in)\n",
@@ -78,7 +127,7 @@ func (e *Engine) Explain(q *query.Query) (string, error) {
 			continue
 		}
 		path := "generic evaluator"
-		if ap.fastPath {
+		if ap.fastTry {
 			switch ap.form {
 			case expr.FCol:
 				path = "dense column scan"

@@ -101,6 +101,12 @@ type Options struct {
 	// row-wise paths, so smaller batches cancel more promptly at a small
 	// scheduling cost. Default 64K rows.
 	BatchRows int
+	// SegmentRows, when positive, makes db.Open segment every fact table
+	// at this sealing threshold (storage.SetSegmentTarget): appends go to
+	// a mutable tail, snapshots become segment-list copies, per-segment
+	// zone maps prune scans, and live appends stop evicting cached plans.
+	// Zero leaves tables flat. The engine itself executes either layout.
+	SegmentRows int
 }
 
 func (o Options) withDefaults() Options {
@@ -144,6 +150,13 @@ type Stats struct {
 	RowsSelected int64
 	// Groups is the number of result groups before LIMIT.
 	Groups int
+
+	// SegmentsTotal is the number of root segments considered by the scan
+	// (1 for flat roots).
+	SegmentsTotal int
+	// SegmentsPruned is the number of segments skipped entirely because a
+	// zone map proved no row could match (empty segments count as pruned).
+	SegmentsPruned int
 
 	// UsedArrayAgg reports whether the multidimensional aggregation array
 	// was used (as opposed to hash aggregation).

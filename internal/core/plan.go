@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"astore/internal/agg"
@@ -13,13 +14,35 @@ import (
 	"astore/internal/storage"
 )
 
+// The plan layer separates what is append-stable from what is not:
+//
+//   - Dimension-side state (predicate vectors, group vectors, dictionaries,
+//     AIR hops beyond the first) is captured at plan time. Dimensions are
+//     flat, and any dimension mutation advances its DataVersion, which
+//     evicts the plan.
+//   - Root(fact)-side state — the arrays the scan actually reads — is a
+//     *recipe* bound per segment at execution time (segState). Sealed
+//     segments are immutable, so their bindings are cached keyed by
+//     (segment, epoch); the mutable tail is rebound per execution. Flat
+//     roots bind once at plan time into a single pseudo-segment state and
+//     keep the old eviction rule.
+//
+// This is what lets live appends to a segmented fact table advance its
+// DataVersion without invalidating cached plans: new rows only ever land in
+// the tail (or freshly sealed segments), and the zone-map requirements
+// recorded in the plan (rootReqs) prove at execution time that every
+// segment's values still fall inside the ranges the plan was compiled for.
+
 // rootFilter is a predicate on a root-table column, evaluated by direct
-// selection-vector refinement through a pre-compiled filterer.
+// selection-vector refinement through a filterer bound per segment.
 type rootFilter struct {
 	pred expr.Pred
-	col  storage.Column
-	filt func([]int32) []int32
+	col  string
 	sel  float64
+	// mask is the dictionary match mask when the column is TDict, used for
+	// zone-map pruning over code ranges (codes past len(mask) are new
+	// values interned after planning and conservatively match).
+	mask []bool
 }
 
 // scanFilter is one entry of the unified, selectivity-ordered filter
@@ -38,23 +61,15 @@ type scanFilter struct {
 // predicate vector (vec != nil) it is a bit probe addressed through the AIR
 // chain; otherwise it is a direct evaluation of the dimension column at the
 // chained position (the paper's fallback for filters too large to cache).
+// The first AIR hop lives on the root and is bound per segment (fk0 is its
+// column name); the remaining hops are dimension-resident arrays.
 type probeFilter struct {
-	table string
-	fks   [][]int32
-	vec   *storage.Bitmap
-	match func(int32) bool
-	sel   float64
-}
-
-// keep reports whether root row r passes the probe.
-func (f *probeFilter) keep(r int32) bool {
-	for _, fk := range f.fks {
-		r = fk[r]
-	}
-	if f.vec != nil {
-		return f.vec.Get(int(r))
-	}
-	return f.match(r)
+	table  string
+	fk0    string
+	dimFKs [][]int32
+	vec    *storage.Bitmap
+	match  func(int32) bool
+	sel    float64
 }
 
 // gdKind discriminates group-dimension implementations.
@@ -68,46 +83,21 @@ const (
 
 // groupDim is one grouping column prepared for the grouping phase: a dense
 // group-id mapping (the paper's dictionary-compressed group vector) plus the
-// decode table used at extraction.
+// decode table used at extraction. Root-resident arrays (dict codes, numeric
+// columns, the first AIR hop of leaf dims) are bound per segment.
 type groupDim struct {
 	name string
 	kind gdKind
 
-	fks [][]int32 // AIR chain root -> owning table (leaf dims only)
-	vec []int32   // leaf group vector: dense id, or -1 for filtered rows
+	col    string    // root kinds: root column name
+	fk0    string    // leaf kind: root-side FK column name
+	dimFKs [][]int32 // AIR hops beyond the first (dimension-resident)
+	vec    []int32   // leaf group vector: dense id, or -1 for filtered rows
 
-	codes []int32 // root dict codes
-	i32   []int32 // root numeric arrays (one of i32/i64/f64 is set)
-	i64   []int64
-	f64   []float64
-	base  int64
-
+	base int64
 	card int
 	vals []query.Value // decode table for gdLeafVec
 	dict *storage.Dict // decode table for gdRootDict
-}
-
-// id returns the dense group id of root row r, or -1 if the row is excluded
-// by the owning leaf's predicates (group vectors double as filters, §4.3).
-func (d *groupDim) id(r int32) int32 {
-	switch d.kind {
-	case gdLeafVec:
-		for _, fk := range d.fks {
-			r = fk[r]
-		}
-		return d.vec[r]
-	case gdRootDict:
-		return d.codes[r]
-	default:
-		switch {
-		case d.i32 != nil:
-			return int32(int64(d.i32[r]) - d.base)
-		case d.i64 != nil:
-			return int32(d.i64[r] - d.base)
-		default:
-			return int32(int64(d.f64[r]) - d.base)
-		}
-	}
 }
 
 // decode maps a dense group id back to the group-by value.
@@ -122,24 +112,37 @@ func (d *groupDim) decode(id int32) query.Value {
 	}
 }
 
+// evalBind records how one column of a measure expression is reached from a
+// root row: directly (root columns, rebound per segment) or through an AIR
+// chain whose first hop is rebound per segment.
+type evalBind struct {
+	onRoot  bool
+	rootCol string
+	acc     func(int32) float64 // leaf: accessor over the dimension column
+	fk0     string
+	dimFKs  [][]int32
+}
+
 // aggPlan is one aggregate prepared for the aggregation phase: a recognized
-// dense-array fast path where possible, plus a generic compiled evaluator.
+// dense-array fast path where possible (colA/colB are root column names
+// bound per segment), plus a generic evaluator recipe.
 type aggPlan struct {
 	agg  expr.Aggregate
 	kind expr.AggKind
 
-	// Fast paths (recognized forms over root-resident numeric columns).
-	form     expr.Form
-	aI32     []int32
-	aI64     []int64
-	aF64     []float64
-	bI32     []int32
-	bI64     []int64
-	bF64     []float64
-	fastPath bool
+	form       expr.Form
+	colA, colB string
+	fastTry    bool
 
-	// eval is the generic per-root-row evaluator (nil for COUNT(*)).
-	eval func(int32) float64
+	binds map[string]*evalBind // generic evaluator column bindings
+}
+
+// rootDimReq is a value-range requirement a segmented root must satisfy for
+// the plan to stay executable: every segment's zone for col must stay
+// within [lo, hi] (group ids index a fixed-shape aggregation array).
+type rootDimReq struct {
+	col    string
+	lo, hi int64
 }
 
 // plan is a fully resolved execution plan for one query.
@@ -150,9 +153,13 @@ type plan struct {
 	eng     *Engine
 	graph   *schema.Graph // join graph the plan was resolved against
 
-	root    *storage.Table
-	rootN   int
-	rootDel *storage.Bitmap
+	root      *storage.Table
+	rootN     int
+	segmented bool
+
+	// planSegs are the root segment views the plan was compiled against;
+	// executions under a newer view pass their own.
+	planSegs []storage.SegView
 
 	rootFilters  []rootFilter
 	probeFilters []probeFilter
@@ -165,8 +172,27 @@ type plan struct {
 	aggKinds []expr.AggKind
 	aggs     []*aggPlan
 
+	// flatState is the single pre-bound pseudo-segment state of a flat
+	// root (bound at plan time, exactly the pre-segmentation behaviour).
+	flatState *segState
+
+	// Freshness requirements for segmented roots (see rootCovered).
+	fkMax   map[string]int64
+	dimReqs []rootDimReq
+
+	// segCache holds bindings for sealed segments, keyed by (segment,
+	// epoch); sealed chunks are immutable, so bindings stay valid across
+	// executions and concurrent queries share them.
+	segMu    sync.Mutex
+	segCache map[segKey]*segState
+
 	stats  Stats
 	leafNS int64
+}
+
+type segKey struct {
+	seg   *storage.Segment
+	epoch uint64
 }
 
 // resolveVariant maps Auto to its concrete executor.
@@ -187,14 +213,17 @@ func (e *Engine) planOn(q *query.Query, root *storage.Table, g *schema.Graph) (*
 		return nil, err
 	}
 	pl := &plan{
-		q:       q,
-		variant: e.opt.Variant,
-		opt:     e.opt,
-		eng:     e,
-		graph:   g,
-		root:    root,
-		rootN:   root.NumRows(),
-		rootDel: root.Deleted(),
+		q:         q,
+		variant:   e.opt.Variant,
+		opt:       e.opt,
+		eng:       e,
+		graph:     g,
+		root:      root,
+		rootN:     root.NumRows(),
+		segmented: root.Segmented(),
+		planSegs:  root.SegViews(),
+		fkMax:     make(map[string]int64),
+		segCache:  make(map[segKey]*segState),
 	}
 
 	if err := pl.planFilters(); err != nil {
@@ -208,8 +237,35 @@ func (e *Engine) planOn(q *query.Query, root *storage.Table, g *schema.Graph) (*
 	}
 	pl.decideAggBackend()
 
+	if !pl.segmented {
+		st, err := pl.bind(&pl.planSegs[0])
+		if err != nil {
+			return nil, err
+		}
+		pl.flatState = st
+	}
+
 	pl.leafNS = time.Since(start).Nanoseconds()
 	return pl, nil
+}
+
+// rootCol resolves a root binding's column: the real flat column, or the
+// typed prototype of a segmented root (per-segment chunks bind later).
+func rootBindingCol(b *schema.Binding) storage.Column {
+	if b.Col != nil {
+		return b.Col
+	}
+	return b.Table.ColumnProto(b.Name)
+}
+
+// needFK records that the plan indexes a captured dimension-side array of
+// length n through root FK column col: segments must keep fk values in
+// [0, n) for the plan to stay executable.
+func (pl *plan) needFK(col string, n int) {
+	hi := int64(n) - 1
+	if cur, ok := pl.fkMax[col]; !ok || hi < cur {
+		pl.fkMax[col] = hi
+	}
 }
 
 // usePrefilter decides whether a predicate vector for table t fits the
@@ -237,13 +293,19 @@ func (pl *plan) planFilters() error {
 			return err
 		}
 		if b.OnRoot() {
-			filt, err := p.Filterer(b.Col)
-			if err != nil {
+			col := rootBindingCol(b)
+			// Compile once against the column type to surface type errors
+			// at plan time (the per-segment binding recompiles cheaply).
+			if _, err := p.Filterer(col); err != nil {
 				return err
 			}
-			pl.rootFilters = append(pl.rootFilters, rootFilter{
-				pred: p, col: b.Col, filt: filt, sel: p.EstimatedSel(),
-			})
+			rf := rootFilter{pred: p, col: b.Name, sel: p.EstimatedSel()}
+			if dc, ok := col.(*storage.DictCol); ok && p.Kind == expr.KStr {
+				if mask, err := p.DictMask(dc.Dict); err == nil {
+					rf.mask = mask
+				}
+			}
+			pl.rootFilters = append(pl.rootFilters, rf)
 			continue
 		}
 		tp := perTable[b.Table]
@@ -327,17 +389,13 @@ func (pl *plan) planFilters() error {
 			continue
 		}
 		path, _ := pl.graph.PathTo(t)
-		fks := make([][]int32, len(path))
-		for i, s := range path {
-			fks[i] = s.From.Column(s.FKCol).(*storage.Int32Col).V
-		}
 		sel := 1.0
 		if t.NumRows() > 0 {
 			sel = float64(vec.Count()) / float64(t.NumRows())
 		}
-		pl.probeFilters = append(pl.probeFilters, probeFilter{
-			table: t.Name, fks: fks, vec: vec, sel: sel,
-		})
+		pf := probeFilter{table: t.Name, vec: vec, sel: sel}
+		pf.fk0, pf.dimFKs = pl.bindPath(path)
+		pl.probeFilters = append(pl.probeFilters, pf)
 		pl.stats.PrefilterTables = append(pl.stats.PrefilterTables, t.Name)
 	}
 	for _, t := range tableOrder {
@@ -372,13 +430,9 @@ func (pl *plan) planFilters() error {
 				return true
 			}
 		}
-		fks := make([][]int32, len(tp.binding.Path))
-		for i, s := range tp.binding.Path {
-			fks[i] = s.From.Column(s.FKCol).(*storage.Int32Col).V
-		}
-		pl.probeFilters = append(pl.probeFilters, probeFilter{
-			table: t.Name, fks: fks, match: match, sel: sel,
-		})
+		pf := probeFilter{table: t.Name, match: match, sel: sel}
+		pf.fk0, pf.dimFKs = pl.bindPath(tp.binding.Path)
+		pl.probeFilters = append(pl.probeFilters, pf)
 	}
 
 	// Unified evaluation order, most selective first (§4.1: the effect of
@@ -397,13 +451,30 @@ func (pl *plan) planFilters() error {
 		if f.vec == nil {
 			cost = 2.5
 		}
-		cost += 0.2 * float64(len(f.fks)-1)
+		cost += 0.2 * float64(len(f.dimFKs))
 		pl.filters = append(pl.filters, scanFilter{probe: f, rank: f.sel * cost})
 	}
 	sort.SliceStable(pl.filters, func(i, j int) bool {
 		return pl.filters[i].rank < pl.filters[j].rank
 	})
 	return nil
+}
+
+// bindPath splits a reference path into the root-side first hop (a column
+// name, bound per segment) and the captured dimension-side hop arrays. The
+// first hop indexes the first-level dimension's arrays, so that bound is
+// recorded as a freshness requirement.
+func (pl *plan) bindPath(path []schema.Step) (fk0 string, dimFKs [][]int32) {
+	fk0 = path[0].FKCol
+	pl.needFK(fk0, path[0].To.NumRows())
+	if len(path) > 1 {
+		dimFKs = make([][]int32, 0, len(path)-1)
+		for _, s := range path[1:] {
+			fk := s.From.Column(s.FKCol).(*storage.Int32Col)
+			dimFKs = append(dimFKs, fk.V)
+		}
+	}
+	return fk0, dimFKs
 }
 
 // coveredByVec reports whether the predicates of t were folded into a
@@ -431,7 +502,7 @@ func (pl *plan) planGroupDims() error {
 			return err
 		}
 		if b.OnRoot() {
-			d, err := rootGroupDim(name, b.Col)
+			d, err := pl.rootGroupDim(name, b)
 			if err != nil {
 				return err
 			}
@@ -442,32 +513,41 @@ func (pl *plan) planGroupDims() error {
 		if err != nil {
 			return err
 		}
+		d.fk0, d.dimFKs = pl.bindPath(b.Path)
 		pl.dims = append(pl.dims, d)
 	}
 	return nil
 }
 
-// rootGroupDim builds the group dimension for a root-table column.
-func rootGroupDim(name string, col storage.Column) (*groupDim, error) {
-	switch c := col.(type) {
+// rootGroupDim builds the group dimension for a root-table column. The
+// dense-id range comes from a column scan on flat roots and from zone maps
+// on segmented roots (conservatively covering deleted rows); segmented
+// plans also record the range as a freshness requirement, so appends that
+// widen the column's value range evict the plan instead of overflowing the
+// aggregation array.
+func (pl *plan) rootGroupDim(name string, b *schema.Binding) (*groupDim, error) {
+	switch c := rootBindingCol(b).(type) {
 	case *storage.DictCol:
+		card := c.Dict.Len()
+		if card == 0 {
+			card = 1
+		}
+		pl.dimReqs = append(pl.dimReqs, rootDimReq{col: b.Name, lo: 0, hi: int64(card) - 1})
 		return &groupDim{
-			name: name, kind: gdRootDict, codes: c.Codes,
-			card: c.Dict.Len(), dict: c.Dict,
+			name: name, kind: gdRootDict, col: b.Name,
+			card: card, dict: c.Dict,
 		}, nil
-	case *storage.Int32Col:
-		lo, hi := int32Range(c.V)
-		return &groupDim{
-			name: name, kind: gdRootNum, i32: c.V,
-			base: int64(lo), card: int(int64(hi) - int64(lo) + 1),
-		}, nil
-	case *storage.Int64Col:
-		lo, hi := int64Range(c.V)
+	case *storage.Int32Col, *storage.Int64Col:
+		lo, hi, err := pl.rootNumRange(name, b)
+		if err != nil {
+			return nil, err
+		}
 		if hi-lo >= math.MaxInt32 {
 			return nil, fmt.Errorf("core: group column %s has range %d, too wide for dense ids", name, hi-lo)
 		}
+		pl.dimReqs = append(pl.dimReqs, rootDimReq{col: b.Name, lo: lo, hi: hi})
 		return &groupDim{
-			name: name, kind: gdRootNum, i64: c.V,
+			name: name, kind: gdRootNum, col: b.Name,
 			base: lo, card: int(hi - lo + 1),
 		}, nil
 	case *storage.Float64Col:
@@ -475,7 +555,47 @@ func rootGroupDim(name string, col storage.Column) (*groupDim, error) {
 	case *storage.StrCol:
 		return nil, fmt.Errorf("core: grouping by uncompressed string column %s on the fact table is not supported; dictionary-compress it", name)
 	default:
-		return nil, fmt.Errorf("core: unsupported group column type %T", col)
+		return nil, fmt.Errorf("core: unsupported group column type %T", b.Col)
+	}
+}
+
+// rootNumRange returns the integer value range of a numeric root column:
+// zone-map union for segmented roots, column scan for flat ones.
+func (pl *plan) rootNumRange(name string, b *schema.Binding) (lo, hi int64, err error) {
+	if pl.segmented {
+		any := false
+		for _, sv := range pl.planSegs {
+			if sv.N == 0 {
+				continue
+			}
+			z, ok := sv.Zones[b.Name]
+			if !ok || !z.OK {
+				return 0, 0, fmt.Errorf("core: group column %s has no zone map", name)
+			}
+			if !any {
+				lo, hi, any = z.MinI, z.MaxI, true
+			} else {
+				if z.MinI < lo {
+					lo = z.MinI
+				}
+				if z.MaxI > hi {
+					hi = z.MaxI
+				}
+			}
+		}
+		if !any {
+			return 0, 0, nil
+		}
+		return lo, hi, nil
+	}
+	switch c := b.Col.(type) {
+	case *storage.Int32Col:
+		l, h := int32Range(c.V)
+		return int64(l), int64(h), nil
+	case *storage.Int64Col:
+		return int64Range(c.V)
+	default:
+		return 0, 0, fmt.Errorf("core: column %s is not integer", name)
 	}
 }
 
@@ -495,9 +615,9 @@ func int32Range(v []int32) (lo, hi int32) {
 	return lo, hi
 }
 
-func int64Range(v []int64) (lo, hi int64) {
+func int64Range(v []int64) (lo, hi int64, err error) {
 	if len(v) == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	lo, hi = v[0], v[0]
 	for _, x := range v {
@@ -508,7 +628,7 @@ func int64Range(v []int64) (lo, hi int64) {
 			hi = x
 		}
 	}
-	return lo, hi
+	return lo, hi, nil
 }
 
 // leafGroupDim builds the group vector and group dictionary for a grouping
@@ -517,7 +637,7 @@ func int64Range(v []int64) (lo, hi int64) {
 func leafGroupDim(name string, b *schema.Binding) (*groupDim, error) {
 	t := b.Table
 	n := t.NumRows()
-	d := &groupDim{name: name, kind: gdLeafVec, fks: b.FKArrays(), vec: make([]int32, n)}
+	d := &groupDim{name: name, kind: gdLeafVec, vec: make([]int32, n)}
 
 	switch c := b.Col.(type) {
 	case *storage.DictCol:
@@ -582,8 +702,8 @@ func leafGroupDim(name string, b *schema.Binding) (*groupDim, error) {
 	return d, nil
 }
 
-// planAggs prepares the aggregate evaluators, recognizing dense fast paths
-// for root-resident measure expressions.
+// planAggs prepares the aggregate evaluator recipes, recognizing dense fast
+// paths for root-resident measure expressions.
 func (pl *plan) planAggs() error {
 	for _, a := range pl.q.Aggs {
 		ap := &aggPlan{agg: a, kind: a.Kind}
@@ -593,64 +713,57 @@ func (pl *plan) planAggs() error {
 			continue
 		}
 
-		// Generic evaluator: column accessors composed with AIR chains.
-		eval, err := expr.Compile(a.Expr, func(name string) (func(int32) float64, error) {
+		// Generic evaluator recipe: resolve every referenced column now so
+		// schema errors surface at plan time; per-segment binding composes
+		// the recorded accessors with the segment's chunks.
+		ap.binds = make(map[string]*evalBind)
+		for _, name := range expr.Cols(a.Expr) {
 			b, err := pl.graph.Resolve(name)
 			if err != nil {
-				return nil, err
+				return err
+			}
+			if b.OnRoot() {
+				if _, err := expr.ColAccessor(rootBindingCol(b)); err != nil {
+					return err
+				}
+				ap.binds[name] = &evalBind{onRoot: true, rootCol: b.Name}
+				continue
 			}
 			acc, err := expr.ColAccessor(b.Col)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if b.OnRoot() {
-				return acc, nil
-			}
-			rowOf := b.RowAccessor()
-			return func(r int32) float64 { return acc(rowOf(r)) }, nil
-		})
-		if err != nil {
-			return err
+			eb := &evalBind{acc: acc}
+			eb.fk0, eb.dimFKs = pl.bindPath(b.Path)
+			ap.binds[name] = eb
 		}
-		ap.eval = eval
 
 		// Fast path: recognized form with all referenced columns on the
-		// root table.
+		// root table (numeric types verified at binding).
 		rec := expr.Recognize(a.Expr)
 		if rec.Form != expr.FGeneric {
 			ok := true
-			bindCol := func(name string) storage.Column {
+			onRootNumeric := func(name string) string {
 				b, err := pl.graph.Resolve(name)
 				if err != nil || !b.OnRoot() {
 					ok = false
-					return nil
+					return ""
 				}
-				return b.Col
+				if typ, _ := b.Table.ColumnType(b.Name); !typ.IsNumeric() {
+					ok = false
+					return ""
+				}
+				return b.Name
 			}
-			var ca, cb storage.Column
-			ca = bindCol(rec.A)
+			colA := onRootNumeric(rec.A)
+			colB := ""
 			if rec.Form != expr.FCol {
-				cb = bindCol(rec.B)
+				colB = onRootNumeric(rec.B)
 			}
 			if ok {
 				ap.form = rec.Form
-				assign := func(c storage.Column, i32 *[]int32, i64 *[]int64, f64 *[]float64) bool {
-					switch c := c.(type) {
-					case *storage.Int32Col:
-						*i32 = c.V
-					case *storage.Int64Col:
-						*i64 = c.V
-					case *storage.Float64Col:
-						*f64 = c.V
-					default:
-						return false
-					}
-					return true
-				}
-				ap.fastPath = assign(ca, &ap.aI32, &ap.aI64, &ap.aF64)
-				if ap.fastPath && cb != nil {
-					ap.fastPath = assign(cb, &ap.bI32, &ap.bI64, &ap.bF64)
-				}
+				ap.colA, ap.colB = colA, colB
+				ap.fastTry = true
 			}
 		}
 		pl.aggs = append(pl.aggs, ap)
@@ -682,4 +795,357 @@ func (pl *plan) decideAggBackend() {
 	}
 	pl.useArray = cells <= limit
 	pl.stats.UsedArrayAgg = pl.useArray
+}
+
+// rootCovered reports whether every segment of a root view still satisfies
+// the plan's recorded range requirements: foreign-key values stay inside
+// the captured dimension-side arrays, and root grouping values stay inside
+// the aggregation array's dense-id ranges. It is the execution-time
+// freshness test that lets cached plans survive appends: zone maps prove
+// the new rows cannot escape the compiled ranges.
+func (pl *plan) rootCovered(segs []storage.SegView) bool {
+	if !pl.segmented {
+		return true // flat roots compare DataVersion instead
+	}
+	for i := range segs {
+		sv := &segs[i]
+		if sv.N == 0 {
+			continue
+		}
+		if sv.Zones == nil {
+			return false
+		}
+		for col, hi := range pl.fkMax {
+			z, ok := sv.Zones[col]
+			if !ok || !z.OK || z.MinI < 0 || z.MaxI > hi {
+				return false
+			}
+		}
+		for _, rq := range pl.dimReqs {
+			z, ok := sv.Zones[rq.col]
+			if !ok || !z.OK || z.MinI < rq.lo || z.MaxI > rq.hi {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// segState is the per-segment binding of a plan's root-resident arrays:
+// filter closures, group-id sources, and aggregate inputs, all addressed by
+// segment-local row indexes. Deletion bitmaps are intentionally NOT part of
+// the state — they come from the execution's SegView, so deletes never
+// invalidate cached bindings.
+type segState struct {
+	n        int
+	filters  []boundFilter
+	dims     []boundDim
+	aggs     []boundAgg
+	rowTests []func(int32) bool // row-wise variants only
+}
+
+// boundFilter is one scanFilter bound to a segment.
+type boundFilter struct {
+	filt  func([]int32) []int32 // root filters
+	probe *probeFilter          // shared dimension-side state
+	fk0   []int32               // probe first hop, segment-local
+}
+
+// keep reports whether local row r passes a probe filter.
+func (bf *boundFilter) keep(r int32) bool {
+	x := bf.fk0[r]
+	for _, fk := range bf.probe.dimFKs {
+		x = fk[x]
+	}
+	if bf.probe.vec != nil {
+		return bf.probe.vec.Get(int(x))
+	}
+	return bf.probe.match(x)
+}
+
+// boundDim is one groupDim bound to a segment.
+type boundDim struct {
+	d     *groupDim
+	fk0   []int32 // leaf kind
+	codes []int32 // root dict kind
+	i32   []int32 // root numeric kinds (one of i32/i64/f64 set)
+	i64   []int64
+	f64   []float64
+}
+
+// id returns the dense group id of local row r, or -1 if the row is
+// excluded by the owning leaf's predicates (group vectors double as
+// filters, §4.3).
+func (b *boundDim) id(r int32) int32 {
+	d := b.d
+	switch d.kind {
+	case gdLeafVec:
+		x := b.fk0[r]
+		for _, fk := range d.dimFKs {
+			x = fk[x]
+		}
+		return d.vec[x]
+	case gdRootDict:
+		return b.codes[r]
+	default:
+		switch {
+		case b.i32 != nil:
+			return int32(int64(b.i32[r]) - d.base)
+		case b.i64 != nil:
+			return int32(b.i64[r] - d.base)
+		default:
+			return int32(int64(b.f64[r]) - d.base)
+		}
+	}
+}
+
+// boundAgg is one aggPlan bound to a segment.
+type boundAgg struct {
+	ap   *aggPlan
+	eval func(int32) float64
+
+	aI32 []int32
+	aI64 []int64
+	aF64 []float64
+	bI32 []int32
+	bI64 []int64
+	bF64 []float64
+	fast bool
+}
+
+// segStateFor returns the binding for one segment view, serving sealed
+// segments from the shared cache (sealed chunks are immutable; the epoch
+// key catches copy-on-write replacements). Tail and flat pseudo-segments
+// bind fresh.
+func (pl *plan) segStateFor(sv *storage.SegView) (*segState, error) {
+	if sv.Seg == nil {
+		if pl.flatState != nil {
+			return pl.flatState, nil
+		}
+		return pl.bind(sv)
+	}
+	if !sv.Sealed {
+		return pl.bind(sv)
+	}
+	key := segKey{seg: sv.Seg, epoch: sv.Epoch}
+	pl.segMu.Lock()
+	st, ok := pl.segCache[key]
+	pl.segMu.Unlock()
+	if ok {
+		return st, nil
+	}
+	st, err := pl.bind(sv)
+	if err != nil {
+		return nil, err
+	}
+	pl.segMu.Lock()
+	pl.segCache[key] = st
+	pl.segMu.Unlock()
+	return st, nil
+}
+
+// bind resolves the plan's root-resident recipes against one segment's
+// chunks.
+func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
+	cols := sv.Cols
+	st := &segState{n: sv.N}
+
+	st.filters = make([]boundFilter, 0, len(pl.filters))
+	for i := range pl.filters {
+		f := &pl.filters[i]
+		if f.root != nil {
+			c, ok := cols[f.root.col]
+			if !ok {
+				return nil, fmt.Errorf("core: segment has no column %s", f.root.col)
+			}
+			filt, err := f.root.pred.Filterer(c)
+			if err != nil {
+				return nil, err
+			}
+			st.filters = append(st.filters, boundFilter{filt: filt})
+			continue
+		}
+		fk0, err := int32Chunk(cols, f.probe.fk0)
+		if err != nil {
+			return nil, err
+		}
+		st.filters = append(st.filters, boundFilter{probe: f.probe, fk0: fk0})
+	}
+
+	st.dims = make([]boundDim, 0, len(pl.dims))
+	for _, d := range pl.dims {
+		bd := boundDim{d: d}
+		switch d.kind {
+		case gdLeafVec:
+			fk0, err := int32Chunk(cols, d.fk0)
+			if err != nil {
+				return nil, err
+			}
+			bd.fk0 = fk0
+		case gdRootDict:
+			c, ok := cols[d.col].(*storage.DictCol)
+			if !ok {
+				return nil, fmt.Errorf("core: segment column %s is not dict-compressed", d.col)
+			}
+			bd.codes = c.Codes
+		default:
+			switch c := cols[d.col].(type) {
+			case *storage.Int32Col:
+				bd.i32 = c.V
+			case *storage.Int64Col:
+				bd.i64 = c.V
+			case *storage.Float64Col:
+				bd.f64 = c.V
+			default:
+				return nil, fmt.Errorf("core: segment column %s is not numeric", d.col)
+			}
+		}
+		st.dims = append(st.dims, bd)
+	}
+
+	st.aggs = make([]boundAgg, 0, len(pl.aggs))
+	for _, ap := range pl.aggs {
+		ba := boundAgg{ap: ap}
+		if ap.agg.Expr != nil {
+			eval, err := expr.Compile(ap.agg.Expr, func(name string) (func(int32) float64, error) {
+				eb := ap.binds[name]
+				if eb == nil {
+					return nil, fmt.Errorf("core: unbound column %s", name)
+				}
+				if eb.onRoot {
+					c, ok := cols[eb.rootCol]
+					if !ok {
+						return nil, fmt.Errorf("core: segment has no column %s", eb.rootCol)
+					}
+					return expr.ColAccessor(c)
+				}
+				fk0, err := int32Chunk(cols, eb.fk0)
+				if err != nil {
+					return nil, err
+				}
+				acc, fks := eb.acc, eb.dimFKs
+				if len(fks) == 0 {
+					return func(r int32) float64 { return acc(fk0[r]) }, nil
+				}
+				return func(r int32) float64 {
+					x := fk0[r]
+					for _, fk := range fks {
+						x = fk[x]
+					}
+					return acc(x)
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			ba.eval = eval
+			if ap.fastTry {
+				assign := func(name string, i32 *[]int32, i64 *[]int64, f64 *[]float64) bool {
+					switch c := cols[name].(type) {
+					case *storage.Int32Col:
+						*i32 = c.V
+					case *storage.Int64Col:
+						*i64 = c.V
+					case *storage.Float64Col:
+						*f64 = c.V
+					default:
+						return false
+					}
+					return true
+				}
+				ba.fast = assign(ap.colA, &ba.aI32, &ba.aI64, &ba.aF64)
+				if ba.fast && ap.colB != "" {
+					ba.fast = assign(ap.colB, &ba.bI32, &ba.bI64, &ba.bF64)
+				}
+			}
+		}
+		st.aggs = append(st.aggs, ba)
+	}
+
+	if pl.variant.rowWise() {
+		st.rowTests = make([]func(int32) bool, len(st.filters))
+		for i := range st.filters {
+			bf := &st.filters[i]
+			if bf.probe != nil {
+				st.rowTests[i] = bf.keep
+				continue
+			}
+			f := pl.filters[i].root
+			m, err := f.pred.Matcher(cols[f.col])
+			if err != nil {
+				return nil, err
+			}
+			st.rowTests[i] = m
+		}
+	}
+	return st, nil
+}
+
+func int32Chunk(cols map[string]storage.Column, name string) ([]int32, error) {
+	c, ok := cols[name].(*storage.Int32Col)
+	if !ok {
+		return nil, fmt.Errorf("core: segment column %s is not int32", name)
+	}
+	return c.V, nil
+}
+
+// mayMatchSegment reports whether a filter could select any row of the
+// segment, consulting zone maps. Conservative: unknown shapes return true.
+func (f *scanFilter) mayMatchSegment(sv *storage.SegView) bool {
+	if sv.Zones == nil {
+		return true
+	}
+	if f.root != nil {
+		z, ok := sv.Zones[f.root.col]
+		if !ok {
+			return true
+		}
+		if !z.OK {
+			return false // empty chunk: nothing matches
+		}
+		if z.Typ == storage.TDict {
+			if f.root.mask == nil {
+				return true
+			}
+			return maskAnyInRange(f.root.mask, z.MinI, z.MaxI)
+		}
+		if z.Typ == storage.TFloat64 {
+			return f.root.pred.OverlapsFloatRange(z.MinF, z.MaxF)
+		}
+		return f.root.pred.OverlapsIntRange(z.MinI, z.MaxI)
+	}
+	// Probe pruning: a predicate vector on the first-level dimension plus
+	// the segment's FK range prove emptiness when no selected dimension row
+	// falls inside the range. Deeper (unfolded) chains cannot be pruned
+	// from the root FK range alone.
+	p := f.probe
+	if p.vec == nil || len(p.dimFKs) > 0 {
+		return true
+	}
+	z, ok := sv.Zones[p.fk0]
+	if !ok {
+		return true // missing zone: conservative
+	}
+	if !z.OK {
+		return false // empty chunk: nothing matches
+	}
+	return p.vec.AnySetInRange(int(z.MinI), int(z.MaxI))
+}
+
+// maskAnyInRange reports whether any dictionary code in [lo, hi] has its
+// mask bit set; codes beyond the mask are values interned after planning
+// and conservatively match.
+func maskAnyInRange(mask []bool, lo, hi int64) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= int64(len(mask)) {
+		return true
+	}
+	for c := lo; c <= hi; c++ {
+		if mask[c] {
+			return true
+		}
+	}
+	return false
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"astore/internal/query"
+	"astore/internal/storage"
 )
 
 // runRowWise executes the plan tuple-at-a-time (the AIRScan_R and
@@ -13,44 +14,37 @@ import (
 // against every predicate — through AIR chains, or against predicate
 // vectors when the variant builds them — and fed to hash-based grouping and
 // aggregation. It exists to quantify what the column-wise optimizations
-// buy; it shares planning, parallelization, cancellation, and result
-// extraction with the columnar path. Row-wise variants always aggregate
-// into a hash table (decideAggBackend never picks the array for them).
-func (pl *plan) runRowWise(ctx context.Context, rs *runState) (*query.Result, error) {
-	// Pre-bind per-row testers following the plan's unified filter order.
-	tests := make([]func(int32) bool, 0, len(pl.filters))
-	for i := range pl.filters {
-		f := &pl.filters[i]
-		if f.root != nil {
-			m, err := f.root.pred.Matcher(f.root.col)
-			if err != nil {
-				return nil, err
-			}
-			tests = append(tests, m)
-		} else {
-			tests = append(tests, f.probe.keep)
-		}
+// buy; it shares planning, segment admission (zone-map pruning), parallel
+// morsel scheduling, cancellation, and result extraction with the columnar
+// path. Row-wise variants always aggregate into a hash table
+// (decideAggBackend never picks the array for them).
+func (pl *plan) runRowWise(ctx context.Context, segs []storage.SegView, rs *runState) (*query.Result, error) {
+	kept, err := pl.admitSegments(segs, rs)
+	if err != nil {
+		return nil, err
 	}
-
-	spans := makeSpans(pl.rootN, pl.spanCount())
-	process := func(p *partial, sp span) {
+	morsels := pl.makeMorsels(kept)
+	process := func(p *partial, m morsel) {
+		es := kept[m.si]
+		st := es.st
+		del := es.sv.Del
 		t0 := time.Now()
-		p.scanned += int64(sp.hi - sp.lo)
+		p.scanned += int64(m.hi - m.lo)
 		key := p.key
 		kinds := p.h.Kinds()
 	rows:
-		for r := int32(sp.lo); r < int32(sp.hi); r++ {
-			if pl.rootDel != nil && pl.rootDel.Get(int(r)) {
+		for r := int32(m.lo); r < int32(m.hi); r++ {
+			if del != nil && del.Get(int(r)) {
 				continue
 			}
-			for _, m := range tests {
-				if !m(r) {
+			for _, test := range st.rowTests {
+				if !test(r) {
 					continue rows
 				}
 			}
 			ok := true
-			for k, d := range pl.dims {
-				id := d.id(r)
+			for k := range st.dims {
+				id := st.dims[k].id(r)
 				if id < 0 {
 					ok = false
 					break
@@ -63,17 +57,18 @@ func (pl *plan) runRowWise(ctx context.Context, rs *runState) (*query.Result, er
 			p.selected++
 			c := p.h.Upsert(key)
 			c.Count++
-			for k, ap := range pl.aggs {
-				if ap.agg.Expr == nil {
+			for k := range st.aggs {
+				ba := &st.aggs[k]
+				if ba.ap.agg.Expr == nil {
 					continue
 				}
-				c.Update(kinds, k, ap.eval(r))
+				c.Update(kinds, k, ba.eval(r))
 			}
 		}
 		p.scanNS += time.Since(t0).Nanoseconds()
 	}
 
-	total, err := pl.runParallel(ctx, spans, process, rs)
+	total, err := pl.runParallel(ctx, morsels, process, rs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"astore/internal/expr"
+	"astore/internal/query"
+	"astore/internal/storage"
+)
+
+// segmentStar builds the deterministic star fixture and converts its fact
+// table to segmented storage.
+func segmentStar(t *testing.T, seed int64, nFact, target int) *storage.Table {
+	t.Helper()
+	fact := buildStar(t, seed, nFact)
+	if err := fact.SetSegmentTarget(target); err != nil {
+		t.Fatal(err)
+	}
+	return fact
+}
+
+// TestSegmentedMatchesOracleAllVariants is the differential test for the
+// segment-granular executor: every scan variant over a segmented fact table
+// must produce exactly the results of the brute-force oracle running over
+// the flat twin (identical seed).
+func TestSegmentedMatchesOracleAllVariants(t *testing.T) {
+	flat := buildStar(t, 42, 5000)
+	seg := segmentStar(t, 42, 5000, 512) // ~10 segments
+	for _, q := range starQueries() {
+		want, err := naiveRun(flat, q)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", q.Name, err)
+		}
+		for _, v := range allVariants() {
+			for _, workers := range []int{1, 4} {
+				eng, err := New(seg, Options{Variant: v, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.Run(q)
+				if err != nil {
+					t.Fatalf("%s [%s w=%d]: %v", q.Name, v, workers, err)
+				}
+				if err := query.Diff(want, got, 1e-9); err != nil {
+					t.Errorf("%s [%s w=%d]: %v", q.Name, v, workers, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentedSnowflakeMatchesOracle exercises multi-hop AIR chains over a
+// segmented root.
+func TestSegmentedSnowflakeMatchesOracle(t *testing.T) {
+	flat := buildSnowflakeLarge(t, 7, 4000)
+	seg := buildSnowflakeLarge(t, 7, 4000)
+	if err := seg.SetSegmentTarget(640); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New("snowflake-seg").
+		Where(expr.StrEq("r_name", "ASIA"), expr.IntGe("o_price", 800)).
+		GroupByCols("n_name").
+		Agg(expr.SumOf(expr.Mul(expr.C("l_extendedprice"), expr.Subtract(expr.K(1), expr.C("l_discount"))), "revenue")).
+		OrderDesc("revenue")
+	want, err := naiveRun(flat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range allVariants() {
+		eng, err := New(seg, Options{Variant: v, Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Run(q)
+		if err != nil {
+			t.Fatalf("[%s]: %v", v, err)
+		}
+		if err := query.Diff(want, got, 1e-9); err != nil {
+			t.Errorf("[%s]: %v", v, err)
+		}
+	}
+}
+
+// clusteredFact builds a fact table whose f_seq column is monotonically
+// increasing (append order ≈ time order, the live-ingest shape) and whose
+// f_dk FK is range-correlated with the date dimension, so both root-filter
+// and FK-probe zone maps have pruning power.
+func clusteredFact(t *testing.T, nFact, nDate int) *storage.Table {
+	t.Helper()
+	date := storage.NewTable("date")
+	years := make([]int32, nDate)
+	for i := range years {
+		years[i] = int32(1992 + i*8/nDate) // years ascend with the index
+	}
+	date.MustAddColumn("d_year", storage.NewInt32Col(years))
+
+	seq := make([]int32, nFact)
+	fkD := make([]int32, nFact)
+	val := make([]int64, nFact)
+	for i := 0; i < nFact; i++ {
+		seq[i] = int32(i)
+		fkD[i] = int32(i * nDate / nFact) // correlated with append order
+		val[i] = int64(i % 97)
+	}
+	fact := storage.NewTable("fact")
+	fact.MustAddColumn("f_seq", storage.NewInt32Col(seq))
+	fact.MustAddColumn("f_dk", storage.NewInt32Col(fkD))
+	fact.MustAddColumn("f_val", storage.NewInt64Col(val))
+	fact.MustAddFK("f_dk", date)
+	return fact
+}
+
+// TestZoneMapPruningRootFilter asserts that a selective range predicate on
+// a clustered root column skips segments — and that the pruned execution
+// returns exactly the unpruned (flat) result.
+func TestZoneMapPruningRootFilter(t *testing.T) {
+	const nFact, nDate, target = 8000, 64, 500
+	flat := clusteredFact(t, nFact, nDate)
+	seg := clusteredFact(t, nFact, nDate)
+	if err := seg.SetSegmentTarget(target); err != nil {
+		t.Fatal(err)
+	}
+
+	q := query.New("narrow").
+		Where(expr.IntBetween("f_seq", 1000, 1200)).
+		Agg(expr.CountStar("cnt"), expr.SumOf(expr.C("f_val"), "sum"))
+
+	flatEng, err := New(flat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := flatEng.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	segEng, err := New(seg, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	got, err := segEng.RunWithStats(q, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.Diff(want, got, 1e-9); err != nil {
+		t.Fatalf("pruned result differs from unpruned: %v", err)
+	}
+	if stats.SegmentsTotal < nFact/target {
+		t.Fatalf("SegmentsTotal = %d, want >= %d", stats.SegmentsTotal, nFact/target)
+	}
+	if stats.SegmentsPruned == 0 {
+		t.Fatalf("SegmentsPruned = 0, want > 0 (stats: %+v)", stats)
+	}
+	// The predicate spans rows 1000–1200: at most two 500-row segments can
+	// contain matches.
+	if kept := stats.SegmentsTotal - stats.SegmentsPruned; kept > 2 {
+		t.Errorf("kept %d segments, want <= 2", kept)
+	}
+	if stats.RowsScanned >= int64(nFact) {
+		t.Errorf("RowsScanned = %d, want < %d (pruning should cut row work)", stats.RowsScanned, nFact)
+	}
+}
+
+// TestZoneMapPruningFKProbe asserts that a dimension predicate prunes
+// segments through the AIR FK column's zone map when the foreign keys are
+// range-correlated (the predicate vector's set bits fall outside most
+// segments' FK ranges).
+func TestZoneMapPruningFKProbe(t *testing.T) {
+	const nFact, nDate, target = 8000, 64, 500
+	flat := clusteredFact(t, nFact, nDate)
+	seg := clusteredFact(t, nFact, nDate)
+	if err := seg.SetSegmentTarget(target); err != nil {
+		t.Fatal(err)
+	}
+
+	// d_year == 1992 selects only the first chunk of date rows, reachable
+	// only from the first few fact segments.
+	q := query.New("dimsel").
+		Where(expr.IntEq("d_year", 1992)).
+		Agg(expr.CountStar("cnt"), expr.SumOf(expr.C("f_val"), "sum"))
+
+	flatEng, err := New(flat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := flatEng.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	segEng, err := New(seg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	got, err := segEng.RunWithStats(q, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.Diff(want, got, 1e-9); err != nil {
+		t.Fatalf("pruned result differs from unpruned: %v", err)
+	}
+	if stats.SegmentsPruned == 0 {
+		t.Fatalf("SegmentsPruned = 0, want > 0 (stats: %+v)", stats)
+	}
+}
+
+// TestSegmentedExplainShowsPruning checks the Explain satellite: the plan
+// rendering reports per-filter and overall segment pruning decisions.
+func TestSegmentedExplainShowsPruning(t *testing.T) {
+	seg := clusteredFact(t, 4000, 64)
+	if err := seg.SetSegmentTarget(500); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(seg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.New("explain-prune").
+		Where(expr.IntBetween("f_seq", 0, 99), expr.IntEq("d_year", 1992)).
+		Agg(expr.CountStar("cnt"))
+	out, err := eng.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "segments") {
+		t.Fatalf("explain lacks segment info:\n%s", out)
+	}
+	if !strings.Contains(out, "after prune") {
+		t.Fatalf("explain lacks per-filter prune decisions:\n%s", out)
+	}
+	if !strings.Contains(out, "segment admission:") {
+		t.Fatalf("explain lacks admission summary:\n%s", out)
+	}
+}
+
+// TestSegmentedViewExecAcrossAppends exercises the append-stable plan path
+// at the engine level: a plan compiled on one view stays fresh in and
+// executes correctly under later views taken after tail appends.
+func TestSegmentedViewExecAcrossAppends(t *testing.T) {
+	seg := clusteredFact(t, 1000, 64)
+	if err := seg.SetSegmentTarget(300); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(seg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.New("count-all").Agg(expr.CountStar("cnt"), expr.SumOf(expr.C("f_val"), "sum"))
+
+	v1, err := eng.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := v1.Compile(q)
+	if err != nil {
+		v1.Release()
+		t.Fatal(err)
+	}
+	res1, err := eng.Exec(t.Context(), v1, c, nil)
+	if err != nil {
+		v1.Release()
+		t.Fatal(err)
+	}
+	v1.Release()
+	if got := int64(res1.Rows[0].Aggs[0]); got != 1000 {
+		t.Fatalf("count at v1 = %d, want 1000", got)
+	}
+
+	// Append rows whose values stay inside the compiled ranges: the plan
+	// must stay fresh and the new rows must be visible to a new view.
+	for i := 0; i < 500; i++ {
+		if _, err := seg.Insert(map[string]any{"f_seq": 1000 + i, "f_dk": 0, "f_val": 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v2, err := eng.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Release()
+	if !c.FreshIn(v2) {
+		t.Fatal("plan went stale across tail appends")
+	}
+	res2, err := eng.Exec(t.Context(), v2, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(res2.Rows[0].Aggs[0]); got != 1500 {
+		t.Fatalf("count at v2 = %d, want 1500", got)
+	}
+}
+
+// TestSegCacheBounded: copy-on-write updates and consolidations replace
+// segments under a long-lived plan; the sealed-segment binding cache must
+// evict the stale entries instead of pinning discarded arrays forever.
+func TestSegCacheBounded(t *testing.T) {
+	seg := clusteredFact(t, 2000, 64)
+	if err := seg.SetSegmentTarget(200); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(seg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.New("sum").Agg(expr.SumOf(expr.C("f_val"), "sum"))
+	v, err := eng.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := v.Compile(q)
+	if err != nil {
+		v.Release()
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec(t.Context(), v, c, nil); err != nil {
+		v.Release()
+		t.Fatal(err)
+	}
+	v.Release()
+
+	_, total0 := seg.SegmentCounts()
+	for round := 0; round < 30; round++ {
+		// COW-update a sealed row (epoch bump → new cache key), then
+		// re-execute under a fresh view.
+		if err := seg.Update(round*37%1800, "f_val", int64(round%97)); err != nil {
+			t.Fatal(err)
+		}
+		v, err := eng.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.FreshIn(v) {
+			v.Release()
+			t.Fatal("in-range update must not stale the plan")
+		}
+		if _, err := eng.Exec(t.Context(), v, c, nil); err != nil {
+			v.Release()
+			t.Fatal(err)
+		}
+		v.Release()
+	}
+	c.pl.segMu.Lock()
+	size := len(c.pl.segCache)
+	c.pl.segMu.Unlock()
+	if size > total0+16 {
+		t.Fatalf("segCache holds %d entries after 30 COW rounds over %d segments; stale bindings not evicted", size, total0)
+	}
+}

@@ -83,6 +83,11 @@ type Stats struct {
 	// PlanEvictions counts cached plans dropped because the cache exceeded
 	// its capacity (stale replacements do not count).
 	PlanEvictions int64
+	// SegmentsTotal counts root segments considered across executions.
+	SegmentsTotal int64
+	// SegmentsPruned counts root segments skipped by zone-map pruning
+	// across executions (before any row work).
+	SegmentsPruned int64
 }
 
 // Open builds a DB over the catalog: every fact table (a table referenced
@@ -112,6 +117,14 @@ func Open(catalog *storage.Database, opt core.Options) (*DB, error) {
 	for _, t := range catalog.Tables() {
 		if referenced[t] {
 			continue
+		}
+		// Segment fact tables when asked: sealed segments + mutable tail
+		// give cheap snapshots, zone-map pruning, and append-stable plans.
+		// Dimensions stay flat (AIR chain lookups need flat arrays).
+		if opt.SegmentRows > 0 && !t.Segmented() {
+			if err := t.SetSegmentTarget(opt.SegmentRows); err != nil {
+				return nil, fmt.Errorf("db: fact table %s: %w", t.Name, err)
+			}
 		}
 		eng, err := core.New(t, opt)
 		if err != nil {
@@ -390,7 +403,24 @@ func (d *DB) RunStats(ctx context.Context, q *query.Query, stats *core.Stats) (*
 	d.mu.Lock()
 	d.stats.Execs++
 	d.mu.Unlock()
-	return eng.Exec(ctx, c, stats)
+	return d.execCounted(ctx, eng, view, c, stats)
+}
+
+// execCounted executes a compiled plan under its view and folds the run's
+// segment-pruning counters into the DB's cumulative stats.
+func (d *DB) execCounted(ctx context.Context, eng *core.Engine, view *core.View, c *core.Compiled, stats *core.Stats) (*query.Result, error) {
+	var local core.Stats
+	if stats == nil {
+		stats = &local
+	}
+	res, err := eng.Exec(ctx, view, c, stats)
+	if err == nil {
+		d.mu.Lock()
+		d.stats.SegmentsTotal += int64(stats.SegmentsTotal)
+		d.stats.SegmentsPruned += int64(stats.SegmentsPruned)
+		d.mu.Unlock()
+	}
+	return res, err
 }
 
 // RunSQL parses, prepares (hitting the plan cache), and executes one SQL
@@ -449,5 +479,5 @@ func (p *Prepared) ExecStats(ctx context.Context, stats *core.Stats) (*query.Res
 	p.db.mu.Lock()
 	p.db.stats.Execs++
 	p.db.mu.Unlock()
-	return p.eng.Exec(ctx, c, stats)
+	return p.db.execCounted(ctx, p.eng, view, c, stats)
 }

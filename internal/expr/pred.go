@@ -281,6 +281,77 @@ func (p Pred) DictMask(d *storage.Dict) ([]bool, error) {
 	return mask, nil
 }
 
+// OverlapsIntRange reports whether the predicate could match some value in
+// [lo, hi] (inclusive), for zone-map pruning of integer-valued segments.
+// It is conservative: true means "cannot rule the segment out".
+func (p Pred) OverlapsIntRange(lo, hi int64) bool {
+	switch p.Kind {
+	case KStr:
+		return true // string predicate on a numeric zone: cannot reason
+	case KFloat:
+		return p.OverlapsFloatRange(float64(lo), float64(hi))
+	}
+	switch p.Op {
+	case Eq:
+		return p.IVal >= lo && p.IVal <= hi
+	case Ne:
+		return !(lo == hi && lo == p.IVal)
+	case Lt:
+		return lo < p.IVal
+	case Le:
+		return lo <= p.IVal
+	case Gt:
+		return hi > p.IVal
+	case Ge:
+		return hi >= p.IVal
+	case Between:
+		return p.IVal <= hi && p.IHi >= lo
+	case In:
+		for _, x := range p.IList {
+			if x >= lo && x <= hi {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// OverlapsFloatRange is OverlapsIntRange over float-valued zones.
+func (p Pred) OverlapsFloatRange(lo, hi float64) bool {
+	if p.Kind == KStr {
+		return true
+	}
+	pv, ph := p.FVal, p.FHi
+	if p.Kind == KInt {
+		pv, ph = float64(p.IVal), float64(p.IHi)
+	}
+	switch p.Op {
+	case Eq:
+		return pv >= lo && pv <= hi
+	case Ne:
+		return !(lo == hi && lo == pv)
+	case Lt:
+		return lo < pv
+	case Le:
+		return lo <= pv
+	case Gt:
+		return hi > pv
+	case Ge:
+		return hi >= pv
+	case Between:
+		return pv <= hi && ph >= lo
+	case In:
+		for _, x := range p.IList {
+			if float64(x) >= lo && float64(x) <= hi {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
 func (k Kind) String() string {
 	switch k {
 	case KInt:

@@ -161,6 +161,11 @@ func (g *Graph) Resolve(name string) (*Binding, error) {
 	}
 	col := tbl.Column(colName)
 	if col == nil {
+		// Segmented tables have no flat column; bind the typed prototype
+		// (planners bind the per-segment chunks at execution time).
+		col = tbl.ColumnProto(colName)
+	}
+	if col == nil {
 		return nil, fmt.Errorf("schema: table %s has no column %q", tbl.Name, colName)
 	}
 	return &Binding{Name: colName, Table: tbl, Col: col, Path: g.paths[tbl]}, nil

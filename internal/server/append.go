@@ -19,13 +19,17 @@ type appendRequest struct {
 }
 
 // appendResponse reports the inserted row indexes (the primary keys) and
-// the table's mutation counter after the batch.
+// the table's version counters after the batch. DataVersion advances on
+// every data mutation; clients can poll /v1/stats (or re-read it here) to
+// confirm read-their-writes: a snapshot taken at or after this DataVersion
+// includes the batch. Version is a legacy alias of DataVersion.
 type appendResponse struct {
-	Table   string   `json:"table"`
-	Rows    []int    `json:"rows"`
-	Count   int      `json:"count"`
-	Version uint64   `json:"version"`
-	Columns []string `json:"columns,omitempty"` // on error: expected columns
+	Table       string   `json:"table"`
+	Rows        []int    `json:"rows"`
+	Count       int      `json:"count"`
+	Version     uint64   `json:"version"`
+	DataVersion uint64   `json:"data_version"`
+	Columns     []string `json:"columns,omitempty"` // on error: expected columns
 }
 
 // handleAppend serves live ingest. Rows are validated (column set, value
@@ -73,7 +77,11 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		inserted = append(inserted, idx)
 	}
-	writeJSON(w, appendResponse{Table: t.Name, Rows: inserted, Count: len(inserted), Version: t.Version()})
+	dv := t.DataVersion()
+	writeJSON(w, appendResponse{
+		Table: t.Name, Rows: inserted, Count: len(inserted),
+		Version: dv, DataVersion: dv,
+	})
 }
 
 // appendError reports a failed batch, naming the expected columns and how
@@ -98,11 +106,11 @@ func (s *Server) appendError(w http.ResponseWriter, t *storage.Table, inserted [
 func convertRow(t *storage.Table, jsonRow map[string]any) (map[string]any, error) {
 	vals := make(map[string]any, len(jsonRow))
 	for col, v := range jsonRow {
-		c := t.Column(col)
-		if c == nil {
+		typ, ok := t.ColumnType(col)
+		if !ok {
 			return nil, fmt.Errorf("unknown column %q", col)
 		}
-		cv, err := convertValue(c, col, v)
+		cv, err := convertValue(typ, col, v)
 		if err != nil {
 			return nil, err
 		}
@@ -118,9 +126,9 @@ func convertRow(t *storage.Table, jsonRow map[string]any) (map[string]any, error
 	return vals, nil
 }
 
-func convertValue(c storage.Column, col string, v any) (any, error) {
-	switch c.(type) {
-	case *storage.Int32Col, *storage.Int64Col:
+func convertValue(typ storage.Type, col string, v any) (any, error) {
+	switch typ {
+	case storage.TInt32, storage.TInt64:
 		n, ok := v.(json.Number)
 		if !ok {
 			return nil, fmt.Errorf("column %q wants an integer, got %T", col, v)
@@ -129,12 +137,12 @@ func convertValue(c storage.Column, col string, v any) (any, error) {
 		if err != nil {
 			return nil, fmt.Errorf("column %q wants an integer, got %q", col, n.String())
 		}
-		if _, is32 := c.(*storage.Int32Col); is32 && (i < math.MinInt32 || i > math.MaxInt32) {
+		if typ == storage.TInt32 && (i < math.MinInt32 || i > math.MaxInt32) {
 			// storage.appendValue would silently truncate to int32.
 			return nil, fmt.Errorf("column %q: %d overflows int32", col, i)
 		}
 		return i, nil
-	case *storage.Float64Col:
+	case storage.TFloat64:
 		n, ok := v.(json.Number)
 		if !ok {
 			return nil, fmt.Errorf("column %q wants a number, got %T", col, v)
@@ -144,7 +152,7 @@ func convertValue(c storage.Column, col string, v any) (any, error) {
 			return nil, fmt.Errorf("column %q wants a number, got %q", col, n.String())
 		}
 		return f, nil
-	case *storage.StrCol, *storage.DictCol:
+	case storage.TString, storage.TDict:
 		s, ok := v.(string)
 		if !ok {
 			return nil, fmt.Errorf("column %q wants a string, got %T", col, v)

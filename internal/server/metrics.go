@@ -68,6 +68,11 @@ type DBStats struct {
 	PlanMisses    int64 `json:"plan_misses"`
 	PlanStale     int64 `json:"plan_stale"`
 	PlanEvictions int64 `json:"plan_evictions"`
+	// SegmentsTotal and SegmentsPruned report zone-map pruning across all
+	// executions: segments considered vs. segments skipped before any row
+	// work.
+	SegmentsTotal  int64 `json:"segments_total"`
+	SegmentsPruned int64 `json:"segments_pruned"`
 }
 
 // Stats is the GET /v1/stats response body.

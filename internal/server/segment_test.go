@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"astore/internal/core"
+)
+
+// TestSegmentedServing exercises the HTTP layer over a segmented catalog:
+// live ingest appends to the fact table's tail, append responses carry the
+// new data version (read-your-writes via polling), queries keep serving
+// snapshot-isolated results, and /v1/stats reports the zone-map pruning
+// counters without plan-cache churn from the appends.
+func TestSegmentedServing(t *testing.T) {
+	_, ts, data, d := newSSBServer(t, 0.01, Config{MaxInFlight: 2}, core.Options{SegmentRows: 4096})
+	if !data.Lineorder.Segmented() {
+		t.Fatal("lineorder not segmented")
+	}
+
+	sql := `SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date
+	        WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year`
+	runQuery := func() queryResp {
+		resp, body := post(t, ts.URL+"/v1/query", fmt.Sprintf(`{"sql": %q}`, sql))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d: %s", resp.StatusCode, body)
+		}
+		var qr queryResp
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		return qr
+	}
+	runQuery() // warm the plan cache
+
+	// Live ingest: append valid rows and track data_version advancing.
+	appendBody := `{"rows": [
+		{"lo_custkey": 0, "lo_suppkey": 0, "lo_partkey": 0, "lo_orderdate": 0,
+		 "lo_quantity": 1, "lo_extendedprice": 100, "lo_discount": 0,
+		 "lo_ordtotalprice": 100, "lo_revenue": 100, "lo_supplycost": 10, "lo_tax": 0}
+	]}`
+	var lastDV uint64
+	for i := 0; i < 5; i++ {
+		resp, body := post(t, ts.URL+"/v1/tables/lineorder/append", appendBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("append status %d: %s", resp.StatusCode, body)
+		}
+		var ar struct {
+			Count       int    `json:"count"`
+			Version     uint64 `json:"version"`
+			DataVersion uint64 `json:"data_version"`
+		}
+		if err := json.Unmarshal(body, &ar); err != nil {
+			t.Fatal(err)
+		}
+		if ar.Count != 1 {
+			t.Fatalf("append count = %d", ar.Count)
+		}
+		if ar.DataVersion == 0 {
+			t.Fatal("append response lacks data_version")
+		}
+		if ar.DataVersion <= lastDV {
+			t.Fatalf("data_version did not advance: %d -> %d", lastDV, ar.DataVersion)
+		}
+		if ar.Version != ar.DataVersion {
+			t.Fatalf("version %d != data_version %d", ar.Version, ar.DataVersion)
+		}
+		lastDV = ar.DataVersion
+		runQuery()
+	}
+	if got := data.Lineorder.DataVersion(); got != lastDV {
+		t.Fatalf("live DataVersion %d != last append response %d", got, lastDV)
+	}
+
+	// Appends must not have churned the plan cache (append-stable plans).
+	st := d.Stats()
+	if st.PlanStale != 0 || st.PlanEvictions != 0 {
+		t.Errorf("plan cache churned under ingest: stale=%d evictions=%d", st.PlanStale, st.PlanEvictions)
+	}
+	if st.PlanHits < 5 {
+		t.Errorf("PlanHits = %d, want >= 5", st.PlanHits)
+	}
+
+	// /v1/stats carries the segment counters.
+	resp, body := post(t, ts.URL+"/v1/query", `{"sql": "SELECT sum(lo_revenue) AS r FROM lineorder"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, body)
+	}
+	hres, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	var stats Stats
+	if err := json.NewDecoder(hres.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.DB.SegmentsTotal == 0 {
+		t.Errorf("/v1/stats segments_total = 0, want > 0")
+	}
+	if stats.DB.SegmentsPruned > stats.DB.SegmentsTotal {
+		t.Errorf("segments_pruned %d > segments_total %d", stats.DB.SegmentsPruned, stats.DB.SegmentsTotal)
+	}
+}

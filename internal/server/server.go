@@ -379,12 +379,14 @@ func (s *Server) StatsSnapshot() Stats {
 		UptimeMS: time.Since(s.start).Milliseconds(),
 		Panics:   s.panics.Load(),
 		DB: DBStats{
-			Prepares:      dbStats.Prepares,
-			Execs:         dbStats.Execs,
-			PlanHits:      dbStats.PlanHits,
-			PlanMisses:    dbStats.PlanMisses,
-			PlanStale:     dbStats.PlanStale,
-			PlanEvictions: dbStats.PlanEvictions,
+			Prepares:       dbStats.Prepares,
+			Execs:          dbStats.Execs,
+			PlanHits:       dbStats.PlanHits,
+			PlanMisses:     dbStats.PlanMisses,
+			PlanStale:      dbStats.PlanStale,
+			PlanEvictions:  dbStats.PlanEvictions,
+			SegmentsTotal:  dbStats.SegmentsTotal,
+			SegmentsPruned: dbStats.SegmentsPruned,
 		},
 		Admission: AdmissionStats{
 			MaxInFlight: s.cfg.MaxInFlight,

@@ -137,6 +137,18 @@ func (b *Bitmap) NextSet(from int) int {
 	return -1
 }
 
+// AnySetInRange reports whether any bit in [lo, hi] (inclusive, clamped to
+// the bitmap length) is set. Zone-map pruning uses it to test whether a
+// segment's foreign-key range can reach any row selected by a predicate
+// vector.
+func (b *Bitmap) AnySetInRange(lo, hi int) bool {
+	if hi >= b.n {
+		hi = b.n - 1
+	}
+	i := b.NextSet(lo)
+	return i >= 0 && i <= hi
+}
+
 // ForEachSet calls fn for every set bit in ascending order.
 func (b *Bitmap) ForEachSet(fn func(i int)) {
 	for wi, w := range b.words {

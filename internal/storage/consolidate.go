@@ -12,7 +12,10 @@ import "fmt"
 // primary key is the array index, compaction renumbers keys and therefore
 // must update all references. The paper recommends running it only when the
 // system is idle; here it additionally refuses to run while snapshots pin
-// the table or its referrers.
+// the table or its referrers. For segmented tables consolidation rebuilds
+// the segment list — surviving rows re-chunk into freshly sealed segments
+// plus a tail — which is also how deleted slots are reclaimed there (the
+// segmented insert path never reuses slots in place).
 func Consolidate(db *Database, t *Table) ([]int32, error) {
 	refs := db.Referrers(t)
 
@@ -26,7 +29,7 @@ func Consolidate(db *Database, t *Table) ([]int32, error) {
 			return nil, fmt.Errorf("storage: consolidate %s: referrer %s pinned by snapshot", t.Name, r.From.Name)
 		}
 	}
-	if t.del == nil || t.del.Count() == 0 {
+	if t.deletedCountLocked() == 0 {
 		// Nothing to compact; identity map.
 		remap := make([]int32, t.nrows)
 		for i := range remap {
@@ -38,18 +41,84 @@ func Consolidate(db *Database, t *Table) ([]int32, error) {
 
 	// No live reference may point at a deleted row; check before mutating.
 	for _, r := range refs {
-		fk := r.From.Column(r.Col).(*Int32Col)
-		for i, v := range fk.V {
-			if r.From.IsDeleted(i) {
-				continue
+		from := r.From
+		err := from.forEachInt32(r.Col, func(chunk []int32, base int) error {
+			for i, v := range chunk {
+				if from.IsDeleted(base + i) {
+					continue
+				}
+				if t.isDeletedLocked(int(v)) {
+					return fmt.Errorf("storage: consolidate %s: live row %s[%d] references deleted row %d",
+						t.Name, from.Name, base+i, v)
+				}
 			}
-			if t.del.Get(int(v)) {
-				return nil, fmt.Errorf("storage: consolidate %s: live row %s[%d] references deleted row %d",
-					t.Name, r.From.Name, i, v)
-			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 
+	var remap []int32
+	if t.Segmented() {
+		remap = t.consolidateSegmentedLocked()
+	} else {
+		remap = t.consolidateFlatLocked()
+	}
+	t.version++
+
+	// Rewrite all references (the extra cost of consolidation under AIR).
+	// Each referrer is rewritten under its own mutex so a concurrent
+	// writer cannot append to (and possibly reallocate) the FK column
+	// mid-rewrite; one referrer mutex is held at a time, so this cannot
+	// deadlock against single-table writers.
+	for _, r := range refs {
+		if r.From != t {
+			r.From.mu.Lock()
+		}
+		r.From.remapFKLocked(r.Col, remap)
+		if r.From != t {
+			r.From.version++
+			r.From.mu.Unlock()
+		}
+	}
+	return remap, nil
+}
+
+// deletedCountLocked returns the number of rows marked deleted.
+func (t *Table) deletedCountLocked() int {
+	if t.Segmented() {
+		n := 0
+		for _, s := range t.allSegsLocked() {
+			if s.del != nil {
+				n += s.del.Count()
+			}
+		}
+		return n
+	}
+	if t.del == nil {
+		return 0
+	}
+	return t.del.Count()
+}
+
+// isDeletedLocked is IsDeleted for callers already holding t.mu.
+func (t *Table) isDeletedLocked(i int) bool {
+	if i < 0 || i >= t.nrows {
+		return false
+	}
+	if t.Segmented() {
+		s, local, err := t.locateLocked(i)
+		if err != nil {
+			return false
+		}
+		return s.del != nil && s.del.Get(local)
+	}
+	return t.del != nil && t.del.Get(i)
+}
+
+// consolidateFlatLocked compacts the flat representation in place.
+func (t *Table) consolidateFlatLocked() []int32 {
 	remap := make([]int32, t.nrows)
 	next := 0
 	for i := 0; i < t.nrows; i++ {
@@ -71,31 +140,69 @@ func Consolidate(db *Database, t *Table) ([]int32, error) {
 	t.nrows = next
 	t.del = nil
 	t.free = t.free[:0]
+	return remap
+}
 
-	// Rewrite all references (the extra cost of consolidation under AIR).
-	// Each referrer is rewritten under its own mutex so a concurrent
-	// writer cannot append to (and possibly reallocate) the FK column
-	// mid-rewrite; one referrer mutex is held at a time, so this cannot
-	// deadlock against single-table writers.
-	t.version++
-	for _, r := range refs {
-		if r.From != t {
-			r.From.mu.Lock()
+// consolidateSegmentedLocked rebuilds the segment list without the deleted
+// rows: surviving rows are copied into fresh arrays, re-chunked into sealed
+// segments at the current target plus a tail. Old segments are discarded
+// whole — they are never compacted in place, so any stale reader keeps a
+// coherent (if outdated) view.
+func (t *Table) consolidateSegmentedLocked() []int32 {
+	flat, del := t.flattenLocked()
+	remap := make([]int32, t.nrows)
+	next := 0
+	for i := 0; i < t.nrows; i++ {
+		if del != nil && del.Get(i) {
+			remap[i] = -1
+			continue
 		}
-		fk := r.From.Column(r.Col).(*Int32Col)
-		for i := range fk.V {
-			if nv := remap[fk.V[i]]; nv >= 0 {
-				fk.V[i] = nv
-			} else {
-				// Referrer row must itself be deleted (checked above);
-				// keep a safe in-range value for the dead slot.
-				fk.V[i] = 0
+		if next != i {
+			for _, name := range t.names {
+				flat[name].Move(next, i)
 			}
 		}
-		if r.From != t {
-			r.From.version++
-			r.From.mu.Unlock()
+		remap[i] = int32(next)
+		next++
+	}
+	for _, name := range t.names {
+		flat[name].Truncate(next)
+	}
+	t.nrows = next
+	t.segs = t.segs[:0]
+	t.rebuildSegmentsLocked(flat, nil, nil)
+	return remap
+}
+
+// remapFKLocked rewrites every value of an int32 FK column through remap.
+// Values mapping to -1 belong to rows that are themselves deleted (checked
+// by Consolidate) and are parked at 0, a safe in-range index. Segmented
+// referrers are rewritten chunk by chunk with their epochs bumped (cached
+// plan bindings must rebind) and the column's zone maps recomputed.
+func (t *Table) remapFKLocked(col string, remap []int32) {
+	if t.Segmented() {
+		for _, s := range t.allSegsLocked() {
+			fk := s.cols[col].(*Int32Col)
+			for i := range fk.V[:s.n] {
+				if nv := remap[fk.V[i]]; nv >= 0 {
+					fk.V[i] = nv
+				} else {
+					fk.V[i] = 0
+				}
+			}
+			if z, ok := zoneOfChunk(fk, s.n); ok {
+				s.zones[col] = z
+			}
+			s.epoch++
+		}
+		return
+	}
+	fk := t.cols[col].(*Int32Col)
+	for i := range fk.V {
+		if nv := remap[fk.V[i]]; nv >= 0 {
+			fk.V[i] = nv
+		} else {
+			fk.V[i] = 0
 		}
 	}
-	return remap, nil
 }

@@ -10,10 +10,14 @@ import (
 
 // Binary database image format (little-endian throughout):
 //
-//	magic "ASTORDB1"
+//	magic "ASTORDB2"
 //	u32 dictCount, then per dictionary: u32 valueCount, values (u32 len + bytes)
 //	u32 tableCount, then per table:
-//	    name, u32 rowCount, u32 colCount
+//	    name, u32 rowCount
+//	    u32 segmentTarget (0 = flat table)
+//	    u32 sealedSegmentCount, then per sealed segment: u32 rowCount
+//	        (the segment manifest; the tail holds the remaining rows)
+//	    u32 colCount
 //	    per column: name, u8 type, payload
 //	        int32/int64/float64: fixed-width array
 //	        string:              per-row u32 len + bytes
@@ -21,10 +25,19 @@ import (
 //	    u8 hasDeletionVector [+ bitmap words]
 //	    u32 fkCount, then per FK: column name, referenced table name
 //
+// Column payloads are written flat — segment chunks concatenate in row
+// order, so a segmented table's payload is identical to its flat
+// equivalent; the manifest records the exact chunk boundaries and the
+// loader re-chunks on read (zone maps are recomputed, not stored). The
+// "ASTORDB1" format (no segmentTarget/manifest fields) is still read.
+//
 // Shared dictionaries serialize once and rewire on load, preserving the
 // code stability that lets tables share them. The slot free list is not
 // stored; it is derivable from the deletion vector.
-const persistMagic = "ASTORDB1"
+const (
+	persistMagic   = "ASTORDB2"
+	persistMagicV1 = "ASTORDB1"
+)
 
 // maxLoadCount bounds element counts read from an image, as a defense
 // against corrupt or hostile files.
@@ -43,10 +56,11 @@ func (db *Database) Save(w io.Writer) error {
 	dictID := make(map[*Dict]uint32)
 	for _, t := range db.tables {
 		for _, name := range t.names {
-			if dc, ok := t.cols[name].(*DictCol); ok {
-				if _, seen := dictID[dc.Dict]; !seen {
-					dictID[dc.Dict] = uint32(len(dicts))
-					dicts = append(dicts, dc.Dict)
+			if t.colTypes[name] == TDict {
+				d := t.colDicts[name]
+				if _, seen := dictID[d]; !seen {
+					dictID[d] = uint32(len(dicts))
+					dicts = append(dicts, d)
 				}
 			}
 		}
@@ -61,41 +75,106 @@ func (db *Database) Save(w io.Writer) error {
 
 	writeU32(bw, uint32(len(db.tables)))
 	for _, t := range db.tables {
-		writeStr(bw, t.Name)
-		writeU32(bw, uint32(t.nrows))
-		writeU32(bw, uint32(len(t.names)))
-		for _, name := range t.names {
-			writeStr(bw, name)
-			c := t.cols[name]
-			if err := writeColumn(bw, c, dictID); err != nil {
-				return fmt.Errorf("storage: save %s.%s: %w", t.Name, name, err)
-			}
-		}
-		if t.del != nil && t.del.Count() > 0 {
-			bw.WriteByte(1)
-			words := (t.nrows + 63) / 64
-			for wi := 0; wi < words; wi++ {
-				var word uint64
-				for b := 0; b < 64; b++ {
-					i := wi*64 + b
-					if i < t.nrows && t.del.Get(i) {
-						word |= 1 << uint(b)
-					}
-				}
-				writeU64(bw, word)
-			}
-		} else {
-			bw.WriteByte(0)
-		}
-		writeU32(bw, uint32(len(t.fks)))
-		for _, col := range t.names {
-			if ref := t.fks[col]; ref != nil {
-				writeStr(bw, col)
-				writeStr(bw, ref.Name)
-			}
+		// Hold the table's writer mutex for the duration of its record so
+		// the manifest, column payloads, and deletion bits describe one
+		// consistent state even while writers keep mutating other tables.
+		t.mu.Lock()
+		err := saveTableLocked(bw, t, dictID)
+		t.mu.Unlock()
+		if err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// saveTableLocked writes one table record. Segment chunks stream directly
+// into the flat column payload (chunks concatenate in row order — no
+// flattened copy is materialized); the manifest preserves the boundaries.
+// Caller holds t.mu.
+func saveTableLocked(bw *bufio.Writer, t *Table, dictID map[*Dict]uint32) error {
+	views := t.segViewsLocked()
+	writeStr(bw, t.Name)
+	writeU32(bw, uint32(t.nrows))
+	writeU32(bw, uint32(t.segTarget))
+	segmented := t.segTarget > 0
+	if segmented {
+		sealed := 0
+		for i := range views {
+			if views[i].Sealed {
+				sealed++
+			}
+		}
+		writeU32(bw, uint32(sealed))
+		for i := range views {
+			if views[i].Sealed {
+				writeU32(bw, uint32(views[i].N))
+			}
+		}
+	} else {
+		writeU32(bw, 0)
+	}
+	writeU32(bw, uint32(len(t.names)))
+	for _, name := range t.names {
+		writeStr(bw, name)
+		if err := bw.WriteByte(byte(t.colTypes[name])); err != nil {
+			return err
+		}
+		if t.colTypes[name] == TDict {
+			writeU32(bw, dictID[t.colDicts[name]])
+		}
+		for i := range views {
+			sv := &views[i]
+			if err := writeColumnPayload(bw, sv.Cols[name], sv.N); err != nil {
+				return fmt.Errorf("storage: save %s.%s: %w", t.Name, name, err)
+			}
+		}
+	}
+
+	// Deletion bits, combined across segments into one global vector.
+	hasDel := false
+	for i := range views {
+		if views[i].Del != nil && views[i].Del.Count() > 0 {
+			hasDel = true
+			break
+		}
+	}
+	if hasDel {
+		del := NewBitmap(t.nrows)
+		for i := range views {
+			sv := &views[i]
+			if sv.Del == nil {
+				continue
+			}
+			for j := 0; j < sv.N; j++ {
+				if sv.Del.Get(j) {
+					del.Set(sv.Base + j)
+				}
+			}
+		}
+		bw.WriteByte(1)
+		words := (t.nrows + 63) / 64
+		for wi := 0; wi < words; wi++ {
+			var word uint64
+			for b := 0; b < 64; b++ {
+				i := wi*64 + b
+				if i < t.nrows && del.Get(i) {
+					word |= 1 << uint(b)
+				}
+			}
+			writeU64(bw, word)
+		}
+	} else {
+		bw.WriteByte(0)
+	}
+	writeU32(bw, uint32(len(t.fks)))
+	for _, col := range t.names {
+		if ref := t.fks[col]; ref != nil {
+			writeStr(bw, col)
+			writeStr(bw, ref.Name)
+		}
+	}
+	return nil
 }
 
 // LoadDatabase reads a binary image written by Save, rebuilding tables,
@@ -106,7 +185,8 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("storage: load: %w", err)
 	}
-	if string(magic) != persistMagic {
+	v1 := string(magic) == persistMagicV1
+	if string(magic) != persistMagic && !v1 {
 		return nil, fmt.Errorf("storage: load: bad magic %q", magic)
 	}
 
@@ -153,6 +233,35 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 		if err != nil {
 			return nil, err
 		}
+		var segTarget uint32
+		var sealedRows []int
+		if !v1 {
+			if segTarget, err = readU32(br); err != nil {
+				return nil, err
+			}
+			nseg, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			if nseg > maxLoadCount {
+				return nil, fmt.Errorf("storage: load: table %s implausible segment count", name)
+			}
+			total := uint64(0)
+			for si := uint32(0); si < nseg; si++ {
+				rows, err := readU32(br)
+				if err != nil {
+					return nil, err
+				}
+				total += uint64(rows)
+				sealedRows = append(sealedRows, int(rows))
+			}
+			if segTarget == 0 && nseg > 0 {
+				return nil, fmt.Errorf("storage: load: table %s has segments but no segment target", name)
+			}
+			if total > uint64(nrows) {
+				return nil, fmt.Errorf("storage: load: table %s segment manifest exceeds row count", name)
+			}
+		}
 		ncols, err := readU32(br)
 		if err != nil {
 			return nil, err
@@ -196,6 +305,17 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 				}
 			}
 		}
+		if segTarget > 0 {
+			// Restore the exact on-disk segmentation: the flat columns
+			// re-chunk along the manifest boundaries and zone maps are
+			// recomputed. Slot free lists do not apply to segmented tables.
+			flat, del := t.cols, t.del
+			t.segTarget = int(segTarget)
+			t.rebuildSegmentsLocked(flat, del, sealedRows)
+			t.cols = make(map[string]Column)
+			t.del = nil
+			t.free = t.free[:0]
+		}
 		nfk, err := readU32(br)
 		if err != nil {
 			return nil, err
@@ -228,30 +348,29 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 	return db, nil
 }
 
-func writeColumn(w *bufio.Writer, c Column, dictID map[*Dict]uint32) error {
-	if err := w.WriteByte(byte(c.Type())); err != nil {
-		return err
-	}
+// writeColumnPayload writes the first n elements of a chunk's array (type
+// byte and dictionary header are written once per column by the caller,
+// before the per-segment payloads).
+func writeColumnPayload(w *bufio.Writer, c Column, n int) error {
 	switch c := c.(type) {
 	case *Int32Col:
-		for _, v := range c.V {
+		for _, v := range c.V[:n] {
 			writeU32(w, uint32(v))
 		}
 	case *Int64Col:
-		for _, v := range c.V {
+		for _, v := range c.V[:n] {
 			writeU64(w, uint64(v))
 		}
 	case *Float64Col:
-		for _, v := range c.V {
+		for _, v := range c.V[:n] {
 			writeU64(w, math.Float64bits(v))
 		}
 	case *StrCol:
-		for _, s := range c.V {
+		for _, s := range c.V[:n] {
 			writeStr(w, s)
 		}
 	case *DictCol:
-		writeU32(w, dictID[c.Dict])
-		for _, v := range c.Codes {
+		for _, v := range c.Codes[:n] {
 			writeU32(w, uint32(v))
 		}
 	default:

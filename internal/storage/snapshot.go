@@ -22,18 +22,48 @@ type Snapshot struct {
 	del     *Bitmap
 	cols    map[string]Column
 	version uint64
+	schema  uint64
+
+	// segs are the pinned per-segment views of a segmented table: a
+	// metadata copy of the segment list (chunk headers, deletion bitmaps,
+	// zone maps), never a column copy. Nil for flat tables.
+	segs []SegView
 }
 
-// Snapshot returns a stable view of the table's current contents.
+// Snapshot returns a stable view of the table's current contents. For
+// segmented tables the snapshot is a pinned copy of the segment list —
+// O(#segments) headers, no column copying: sealed segments are immutable
+// and tail arrays are preallocated, so appends stay invisible behind the
+// captured row counts, and in-place updates copy-on-write per chunk.
 func (t *Table) Snapshot() *Snapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := &Snapshot{
 		table:   t,
 		n:       t.nrows,
-		cols:    make(map[string]Column, len(t.names)),
 		version: t.version,
+		schema:  t.schemaVersion,
 	}
+	if t.Segmented() {
+		all := t.allSegsLocked()
+		s.segs = make([]SegView, 0, len(all))
+		for _, seg := range all {
+			sv := segViewLocked(seg)
+			if seg.del != nil {
+				seg.delShared = true
+			}
+			if seg.shared == nil {
+				seg.shared = make(map[string]bool, len(seg.cols))
+			}
+			for name := range seg.cols {
+				seg.shared[name] = true
+			}
+			s.segs = append(s.segs, sv)
+		}
+		t.pins++
+		return s
+	}
+	s.cols = make(map[string]Column, len(t.names))
 	if t.del != nil {
 		s.del = t.del.Clone()
 	}
@@ -61,6 +91,10 @@ func (s *Snapshot) Release() {
 	t.pins--
 	if t.pins == 0 {
 		t.shared = nil
+		for _, seg := range t.allSegsLocked() {
+			seg.shared = nil
+			seg.delShared = false
+		}
 	}
 	t.mu.Unlock()
 	s.table = nil
@@ -72,31 +106,60 @@ func (s *Snapshot) NumRows() int { return s.n }
 // Version returns the table's mutation counter as of snapshot time.
 func (s *Snapshot) Version() uint64 { return s.version }
 
-// Deleted returns the snapshot's deletion vector (may be nil).
+// Deleted returns the snapshot's deletion vector (may be nil; segmented
+// snapshots keep per-segment bitmaps in SegViews instead).
 func (s *Snapshot) Deleted() *Bitmap { return s.del }
 
 // IsDeleted reports whether row i was deleted as of the snapshot.
-func (s *Snapshot) IsDeleted(i int) bool { return s.del != nil && s.del.Get(i) }
+func (s *Snapshot) IsDeleted(i int) bool {
+	if s.segs != nil {
+		for _, sv := range s.segs {
+			if i >= sv.Base && i < sv.Base+sv.N {
+				return sv.Del != nil && sv.Del.Get(i-sv.Base)
+			}
+		}
+		return false
+	}
+	return s.del != nil && s.del.Get(i)
+}
 
 // Column returns the snapshot's view of the named column, length-capped to
-// the snapshot row count.
+// the snapshot row count. For segmented snapshots it returns nil — columns
+// live per segment (SegViews).
 func (s *Snapshot) Column(name string) Column { return s.cols[name] }
 
+// SegViews returns the snapshot's pinned per-segment views (nil for flat
+// tables).
+func (s *Snapshot) SegViews() []SegView { return s.segs }
+
 // AsTable materializes the snapshot as a read-only Table carrying the
-// snapshot's frozen columns, row count, and deletion vector. Foreign keys
-// are not wired; Database.Snapshot wires them across a consistent set of
-// table snapshots. Mutating the returned table is undefined behaviour — it
-// exists so query engines can scan a frozen version.
+// snapshot's frozen columns (or, for segmented tables, the pinned segment
+// views), row count, and deletion vector. Foreign keys are not wired;
+// Database.Snapshot wires them across a consistent set of table snapshots.
+// Mutating the returned table is undefined behaviour — it exists so query
+// engines can scan a frozen version.
 func (s *Snapshot) AsTable() *Table {
 	t := s.table
 	out := NewTable(t.Name)
 	out.names = append([]string(nil), t.names...)
+	for k, v := range t.colTypes {
+		out.colTypes[k] = v
+	}
+	for k, v := range t.colDicts {
+		out.colDicts[k] = v
+	}
+	out.nrows = s.n
+	out.version = s.version
+	out.schemaVersion = s.schema
+	if s.segs != nil {
+		out.segTarget = t.segTarget
+		out.viewSegs = s.segs
+		return out
+	}
 	for _, name := range out.names {
 		out.cols[name] = s.cols[name]
 	}
-	out.nrows = s.n
 	out.del = s.del
-	out.version = s.version
 	return out
 }
 

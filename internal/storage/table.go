@@ -14,27 +14,49 @@ type Table struct {
 	// Name is the table name, unique within a Database.
 	Name string
 
-	names []string
-	cols  map[string]Column
-	fks   map[string]*Table
+	names    []string
+	cols     map[string]Column
+	fks      map[string]*Table
+	colTypes map[string]Type
+	colDicts map[string]*Dict
 
 	nrows int
 
 	// Lazy deletion state (§4.4): del marks out-of-date tuples, free lists
-	// reusable slots of deleted tuples.
+	// reusable slots of deleted tuples. Flat mode only; segmented tables
+	// keep per-segment deletion bitmaps and never reuse slots.
 	del  *Bitmap
 	free []int32
 
 	// shared marks columns pinned by live snapshots; an in-place write to
 	// a shared column clones it first (column-granularity copy-on-write).
+	// Flat mode only; segments carry their own shared marks.
 	shared map[string]bool
 	pins   int
 
-	// version counts mutations (insert, delete, update, consolidation).
-	// Because pinned columns are copy-on-write, two reads of the table at
-	// the same version observe identical arrays; plan caches use this to
-	// decide whether a compiled plan's captured arrays are still current.
-	version uint64
+	// Segmented storage (segment.go): sealed immutable segments plus one
+	// mutable tail, active when segTarget > 0.
+	segTarget int
+	segs      []*Segment
+	tail      *Segment
+	nextSegID uint64
+
+	// viewSegs, when non-nil, marks this table as a frozen snapshot view
+	// of a segmented table: reads go through these captured segment views
+	// and the table must not be mutated.
+	viewSegs []SegView
+
+	// version counts data mutations (insert, delete, update,
+	// consolidation). Because pinned columns are copy-on-write, two reads
+	// of the table at the same version observe identical arrays.
+	// schemaVersion counts structural changes (columns, foreign keys,
+	// physical re-segmentation); plan caches invalidate on schemaVersion
+	// always, and on version only for tables whose arrays the plan
+	// captured directly (flat tables and dimensions) — segmented fact
+	// appends advance version without invalidating plans, because plans
+	// bind fact arrays per segment at execution time.
+	version       uint64
+	schemaVersion uint64
 
 	// mu serializes writers. Readers use Snapshot for isolation; reading
 	// the live table concurrently with writers is not synchronized.
@@ -44,17 +66,23 @@ type Table struct {
 // NewTable returns an empty table.
 func NewTable(name string) *Table {
 	return &Table{
-		Name: name,
-		cols: make(map[string]Column),
-		fks:  make(map[string]*Table),
+		Name:     name,
+		cols:     make(map[string]Column),
+		fks:      make(map[string]*Table),
+		colTypes: make(map[string]Type),
+		colDicts: make(map[string]*Dict),
 	}
 }
 
 // AddColumn adds a named column. The first column fixes the row count; every
-// later column must match it.
+// later column must match it. Declare all columns before segmenting the
+// table: adding columns to a segmented table is not supported.
 func (t *Table) AddColumn(name string, c Column) error {
-	if _, dup := t.cols[name]; dup {
+	if _, dup := t.colTypes[name]; dup {
 		return fmt.Errorf("storage: table %s: duplicate column %s", t.Name, name)
+	}
+	if t.Segmented() {
+		return fmt.Errorf("storage: table %s: cannot add column %s to a segmented table", t.Name, name)
 	}
 	if len(t.names) == 0 {
 		t.nrows = c.Len()
@@ -64,6 +92,11 @@ func (t *Table) AddColumn(name string, c Column) error {
 	}
 	t.names = append(t.names, name)
 	t.cols[name] = c
+	t.colTypes[name] = c.Type()
+	if dc, ok := c.(*DictCol); ok {
+		t.colDicts[name] = dc.Dict
+	}
+	t.schemaVersion++
 	return nil
 }
 
@@ -86,24 +119,49 @@ func (t *Table) NumRows() int { return t.nrows }
 
 // NumLive returns the number of rows not marked deleted.
 func (t *Table) NumLive() int {
+	if t.viewSegs != nil || t.Segmented() {
+		live := 0
+		for _, sv := range t.segViewsUnsync() {
+			live += sv.N
+			if sv.Del != nil {
+				live -= sv.Del.Count()
+			}
+		}
+		return live
+	}
 	if t.del == nil {
 		return t.nrows
 	}
 	return t.nrows - t.del.Count()
 }
 
+// segViewsUnsync returns segment views without taking the mutex; for frozen
+// snapshot tables the views are immutable, and for live tables callers are
+// maintenance paths that already serialize with writers.
+func (t *Table) segViewsUnsync() []SegView {
+	if t.viewSegs != nil {
+		return t.viewSegs
+	}
+	out := make([]SegView, 0, len(t.segs)+1)
+	for _, s := range t.allSegsLocked() {
+		out = append(out, segViewLocked(s))
+	}
+	return out
+}
+
 // AddFK declares column col as a foreign key referencing ref. The column
 // must exist and be an Int32 column whose values are array indexes of ref.
 func (t *Table) AddFK(col string, ref *Table) error {
-	c, ok := t.cols[col]
+	typ, ok := t.colTypes[col]
 	if !ok {
 		return fmt.Errorf("storage: table %s: no column %s", t.Name, col)
 	}
-	if _, ok := c.(*Int32Col); !ok {
+	if typ != TInt32 {
 		return fmt.Errorf("storage: table %s: FK column %s must be int32, got %s",
-			t.Name, col, c.Type())
+			t.Name, col, typ)
 	}
 	t.fks[col] = ref
+	t.schemaVersion++
 	return nil
 }
 
@@ -126,13 +184,28 @@ func (t *Table) FKs() map[string]*Table {
 	return m
 }
 
-// Version returns the table's mutation counter. It increases on every
+// Version returns the table's data mutation counter; it is an alias of
+// DataVersion kept for backward compatibility.
+func (t *Table) Version() uint64 { return t.DataVersion() }
+
+// DataVersion returns the data mutation counter. It increases on every
 // insert, delete, update, and consolidation; snapshots taken at equal
-// versions see identical data.
-func (t *Table) Version() uint64 {
+// versions see identical data. Advancing DataVersion invalidates snapshots
+// (of course) but, for segmented tables, NOT compiled plans: plans bind
+// segmented arrays at execution time.
+func (t *Table) DataVersion() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.version
+}
+
+// SchemaVersion returns the structural mutation counter: it increases when
+// columns or foreign keys are declared and when the table is physically
+// re-segmented. Plan caches invalidate on any SchemaVersion change.
+func (t *Table) SchemaVersion() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.schemaVersion
 }
 
 // Pins returns the number of live snapshots currently pinning the table.
@@ -143,31 +216,70 @@ func (t *Table) Pins() int {
 }
 
 // Deleted returns the deletion vector, or nil if no row was ever deleted.
+// Segmented tables keep per-segment deletion bitmaps (see SegViews) and
+// report nil here.
 func (t *Table) Deleted() *Bitmap { return t.del }
 
 // IsDeleted reports whether row i is marked deleted.
-func (t *Table) IsDeleted(i int) bool { return t.del != nil && t.del.Get(i) }
+func (t *Table) IsDeleted(i int) bool {
+	if t.viewSegs != nil || t.Segmented() {
+		for _, sv := range t.segViewsUnsync() {
+			if i >= sv.Base && i < sv.Base+sv.N {
+				return sv.Del != nil && sv.Del.Get(i-sv.Base)
+			}
+		}
+		return false
+	}
+	return t.del != nil && t.del.Get(i)
+}
 
 // ValidateAIR checks that every foreign-key value is a valid, live index of
 // the referenced table. This is the core storage invariant of A-Store.
 func (t *Table) ValidateAIR() error {
 	for col, ref := range t.fks {
-		fk := t.cols[col].(*Int32Col)
-		for i, v := range fk.V {
-			if t.IsDeleted(i) {
-				continue
+		err := t.forEachInt32(col, func(chunk []int32, base int) error {
+			for i, v := range chunk {
+				if t.IsDeleted(base + i) {
+					continue
+				}
+				if v < 0 || int(v) >= ref.NumRows() {
+					return fmt.Errorf("storage: %s.%s[%d]=%d out of range for %s (%d rows)",
+						t.Name, col, base+i, v, ref.Name, ref.NumRows())
+				}
+				if ref.IsDeleted(int(v)) {
+					return fmt.Errorf("storage: %s.%s[%d]=%d references deleted row of %s",
+						t.Name, col, base+i, v, ref.Name)
+				}
 			}
-			if v < 0 || int(v) >= ref.NumRows() {
-				return fmt.Errorf("storage: %s.%s[%d]=%d out of range for %s (%d rows)",
-					t.Name, col, i, v, ref.Name, ref.NumRows())
-			}
-			if ref.IsDeleted(int(v)) {
-				return fmt.Errorf("storage: %s.%s[%d]=%d references deleted row of %s",
-					t.Name, col, i, v, ref.Name)
-			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// forEachInt32 visits the chunks of an int32 column with their global base
+// offsets: one chunk for flat tables, one per segment otherwise.
+func (t *Table) forEachInt32(col string, fn func(chunk []int32, base int) error) error {
+	if t.viewSegs != nil || t.Segmented() {
+		for _, sv := range t.segViewsUnsync() {
+			c, ok := sv.Cols[col].(*Int32Col)
+			if !ok {
+				return fmt.Errorf("storage: table %s: column %s is not int32", t.Name, col)
+			}
+			if err := fn(c.V[:sv.N], sv.Base); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	c, ok := t.cols[col].(*Int32Col)
+	if !ok {
+		return fmt.Errorf("storage: table %s: column %s is not int32", t.Name, col)
+	}
+	return fn(c.V, 0)
 }
 
 // MemBytes estimates the resident size of the table's arrays in bytes
@@ -175,25 +287,39 @@ func (t *Table) ValidateAIR() error {
 func (t *Table) MemBytes() int64 {
 	var b int64
 	seen := make(map[*Dict]bool)
-	for _, name := range t.names {
-		switch c := t.cols[name].(type) {
-		case *Int32Col:
-			b += int64(len(c.V)) * 4
-		case *Int64Col:
-			b += int64(len(c.V)) * 8
-		case *Float64Col:
-			b += int64(len(c.V)) * 8
-		case *StrCol:
-			for _, s := range c.V {
-				b += int64(len(s)) + 16
+	if t.viewSegs != nil || t.Segmented() {
+		for _, sv := range t.segViewsUnsync() {
+			for _, name := range t.names {
+				b += colMemBytes(sv.Cols[name], seen)
 			}
-		case *DictCol:
-			b += int64(len(c.Codes)) * 4
-			if !seen[c.Dict] {
-				seen[c.Dict] = true
-				for _, s := range c.Dict.Values() {
-					b += int64(len(s)) + 16
-				}
+		}
+		return b
+	}
+	for _, name := range t.names {
+		b += colMemBytes(t.cols[name], seen)
+	}
+	return b
+}
+
+func colMemBytes(c Column, seen map[*Dict]bool) int64 {
+	var b int64
+	switch c := c.(type) {
+	case *Int32Col:
+		b += int64(len(c.V)) * 4
+	case *Int64Col:
+		b += int64(len(c.V)) * 8
+	case *Float64Col:
+		b += int64(len(c.V)) * 8
+	case *StrCol:
+		for _, s := range c.V {
+			b += int64(len(s)) + 16
+		}
+	case *DictCol:
+		b += int64(len(c.Codes)) * 4
+		if !seen[c.Dict] {
+			seen[c.Dict] = true
+			for _, s := range c.Dict.Values() {
+				b += int64(len(s)) + 16
 			}
 		}
 	}

@@ -31,6 +31,12 @@ func (t *Table) Insert(vals map[string]any) (int, error) {
 			return -1, fmt.Errorf("storage: table %s: insert missing column %s", t.Name, name)
 		}
 	}
+	if t.Segmented() {
+		// Segmented tables only ever append to the mutable tail; deleted
+		// slots are reclaimed by Consolidate, never reused in place (slot
+		// reuse would write into sealed segments).
+		return t.insertSegmented(vals)
+	}
 
 	// Reuse a deleted slot if one is free.
 	if n := len(t.free); n > 0 {
@@ -89,6 +95,9 @@ func (t *Table) Delete(i int) error {
 	if i < 0 || i >= t.nrows {
 		return fmt.Errorf("storage: table %s: delete row %d out of range", t.Name, i)
 	}
+	if t.Segmented() {
+		return t.deleteSegmented(i)
+	}
 	if t.del == nil {
 		t.del = NewBitmap(t.nrows)
 	}
@@ -114,6 +123,9 @@ func (t *Table) Update(i int, col string, v any) error {
 	defer t.mu.Unlock()
 	if i < 0 || i >= t.nrows {
 		return fmt.Errorf("storage: table %s: update row %d out of range", t.Name, i)
+	}
+	if t.Segmented() {
+		return t.updateSegmented(i, col, v)
 	}
 	if t.IsDeleted(i) {
 		return fmt.Errorf("storage: table %s: update of deleted row %d", t.Name, i)
