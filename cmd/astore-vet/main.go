@@ -1,0 +1,38 @@
+// Command astore-vet checks the astore engine's cross-cutting invariants
+// — the conventions the compiler cannot enforce and -race only catches
+// when the schedule cooperates:
+//
+//	pinrelease      snapshot pins released on every path, never twice
+//	lockdiscipline  *Locked helpers never re-lock; guarded fields held
+//	sealedmut       sealed segment chunks never written in place
+//	ctxcheckpoint   morsel loops honor cancellation
+//	errfmt          error strings carry the package prefix
+//
+// It speaks the go vet tool protocol, so the usual invocation is
+//
+//	go build -o astore-vet ./cmd/astore-vet
+//	go vet -vettool=$(pwd)/astore-vet ./...
+//
+// and it doubles as a standalone driver: `astore-vet ./...` loads
+// packages itself via `go list -export`. Individual analyzers can be
+// disabled with -<name>=false in either mode.
+package main
+
+import (
+	"astore/internal/analysis"
+	"astore/internal/analysis/passes/ctxcheckpoint"
+	"astore/internal/analysis/passes/errfmt"
+	"astore/internal/analysis/passes/lockdiscipline"
+	"astore/internal/analysis/passes/pinrelease"
+	"astore/internal/analysis/passes/sealedmut"
+)
+
+func main() {
+	analysis.Main(
+		pinrelease.Analyzer,
+		lockdiscipline.Analyzer,
+		sealedmut.Analyzer,
+		ctxcheckpoint.Analyzer,
+		errfmt.Analyzer,
+	)
+}

@@ -1,0 +1,86 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis model, sized for this repository's own
+// invariant checkers (cmd/astore-vet). It exists because the engine's
+// correctness rests on conventions the compiler cannot see — snapshot pins
+// released on every path, *Locked helpers never re-locking, sealed segment
+// chunks never written in place, morsel loops honoring cancellation — and
+// those conventions deserve a vet-time proof on every change, not a
+// probabilistic -race catch.
+//
+// The package deliberately mirrors the upstream API shape (Analyzer, Pass,
+// Diagnostic) so the analyzers would port to x/tools unchanged if the
+// dependency ever becomes available; only the drivers (unitchecker.go,
+// golist.go) are bespoke.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -<name>=false flags.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc is the help text; the first line is the summary.
+	Doc string
+
+	// Run applies the analyzer to one package and reports diagnostics
+	// through pass.Report. The returned value is ignored by the drivers
+	// (kept for API compatibility).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass is the interface between one analyzer run and the driver: one
+// type-checked package plus a diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers deduplicate and sort.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The engine
+// analyzers skip test files: tests intentionally exercise violations
+// (leaked pins, mutated chunks) that are bugs in serving code.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Validate checks analyzer registrations (unique, well-formed names).
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.Name == "" || a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %q missing Name or Run", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (stdlib-only).
+//
+// Fixtures live under <analyzer dir>/testdata/src/<pkg>/*.go and may
+// import only the standard library. A line expecting diagnostics carries
+// a comment of the form
+//
+//	code() // want "regexp" "second regexp"
+//
+// Every reported diagnostic must match (regexp-search) a want clause on
+// its line, and every want clause must be matched by some diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"astore/internal/analysis"
+)
+
+// Run analyzes each fixture package under dir/src and reports mismatches
+// between diagnostics and // want comments as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runPackage(t, filepath.Join(dir, "src", pkg), a)
+		})
+	}
+}
+
+func runPackage(t *testing.T, pkgDir string, a *analysis.Analyzer) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(pkgDir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("analysistest: no Go files under %s (%v)", pkgDir, err)
+	}
+	sort.Strings(matches)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range matches {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	conf := types.Config{Importer: importer.Default()}
+	info := analysis.NewTypesInfo()
+	pkg, err := conf.Check(filepath.Base(pkgDir), fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: typecheck %s: %v", pkgDir, err)
+	}
+
+	findings, err := analysis.RunChecked(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: run %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, f := range findings {
+		key := lineKey{file: filepath.Base(f.Pos.Filename), line: f.Pos.Line}
+		if !claimWant(wants[key], f.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.claimed {
+				t.Errorf("%s:%d: no diagnostic matched want %q", key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	claimed bool
+}
+
+func claimWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.claimed && w.re.MatchString(msg) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts // want clauses from every comment in the files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey{file: filepath.Base(pos.Filename), line: pos.Line}
+				for _, pat := range splitQuoted(t, pos, text) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses the sequence of quoted regexps after "// want".
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s: malformed want clause at %q", pos, s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == s[0] && (s[0] == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s: unterminated want string %q", pos, s)
+		}
+		lit := s[:end+1]
+		pat, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want string %s: %v", pos, lit, err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: empty want clause", pos)
+	}
+	return out
+}
+
+// WriteFixture is a helper for tests that generate fixtures on the fly.
+func WriteFixture(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt imported for future debug aid

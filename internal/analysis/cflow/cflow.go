@@ -1,0 +1,375 @@
+// Package cflow builds a lightweight intraprocedural control-flow graph
+// over a function body, sized for the path analyses of cmd/astore-vet
+// (pinrelease's "every acquisition reaches a Release on all paths"). It
+// covers the statement forms the engine uses — if/else, for, range,
+// switch, type switch, select, labeled break/continue, goto, fallthrough,
+// defer — and models panicking calls (panic, os.Exit, log.Fatal*) as a
+// separate termination that analyses may treat differently from a return.
+package cflow
+
+import (
+	"go/ast"
+)
+
+// A Block is a straight-line sequence of statements with successor edges.
+// Condition expressions of if/for/switch heads appear as their enclosing
+// statement node at the head block.
+type Block struct {
+	// Nodes are the statements (and loop/branch head statements) executed
+	// in order within the block.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+	// Index is the block's position in Graph.Blocks.
+	Index int
+}
+
+// A Graph is the CFG of one function body.
+type Graph struct {
+	Blocks []*Block
+	// Entry is the first block executed.
+	Entry *Block
+	// Exit represents normal function termination: explicit returns and
+	// falling off the end of the body.
+	Exit *Block
+	// Panic represents abnormal termination (panic, os.Exit, log.Fatal*).
+	// Deferred calls still run on panic, so analyses that treat a deferred
+	// cleanup as covering typically ignore paths into Panic.
+	Panic *Block
+}
+
+// builder carries the construction state.
+type builder struct {
+	g   *Graph
+	cur *Block // nil when the current position is unreachable
+
+	// loops is the stack of enclosing breakable/continuable statements.
+	loops []loopFrame
+
+	// labels maps label names to their goto target blocks (created on
+	// demand, so forward gotos resolve).
+	labels map[string]*Block
+}
+
+type loopFrame struct {
+	label      string // enclosing label, if any
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+// New builds the CFG of body. The body may be nil (external functions);
+// the returned graph then has an empty entry connected to Exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: make(map[string]*Block)}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	g.Panic = b.newBlock()
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	// Falling off the end of the body is a normal termination.
+	b.jump(g.Exit)
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge from the current block to dst and marks the current
+// position unreachable.
+func (b *builder) jump(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+	b.cur = nil
+}
+
+// branch adds an edge from the current block to dst, keeping cur live.
+func (b *builder) branch(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+}
+
+// startBlock makes blk the current block. An unreachable current position
+// simply moves on: unreachable statements still get blocks (so their nodes
+// exist) but no predecessor edges.
+func (b *builder) startBlock(blk *Block) { b.cur = blk }
+
+// add records a node in the current block, reviving an unreachable
+// position into a fresh dangling block so every statement lands somewhere.
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	blk, ok := b.labels[name]
+	if !ok {
+		blk = b.newBlock()
+		b.labels[name] = blk
+	}
+	return blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for i, s := range list {
+		// A fallthrough terminating a case body is handled by the switch
+		// construction (an edge to the next case); recognize and skip it.
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+			_ = i
+			continue
+		}
+		b.stmt(s, "")
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		blk := b.labelBlock(s.Label.Name)
+		b.jump(blk)
+		b.startBlock(blk)
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok.String() {
+		case "break":
+			if dst := b.findBreak(labelName(s)); dst != nil {
+				b.jump(dst)
+			} else {
+				b.cur = nil
+			}
+		case "continue":
+			if dst := b.findContinue(labelName(s)); dst != nil {
+				b.jump(dst)
+			} else {
+				b.cur = nil
+			}
+		case "goto":
+			b.jump(b.labelBlock(s.Label.Name))
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s) // the condition evaluates here
+		then := b.newBlock()
+		after := b.newBlock()
+		b.branch(then)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.branch(els)
+			b.startBlock(els)
+			b.stmt(s.Else, "")
+			b.jump(after)
+		} else {
+			b.branch(after)
+		}
+		b.startBlock(then)
+		b.stmtList(s.Body.List)
+		b.jump(after)
+		b.startBlock(after)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.jump(head)
+		b.startBlock(head)
+		b.add(s) // the condition evaluates here
+		b.branch(body)
+		if s.Cond != nil {
+			b.branch(after)
+		}
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after, continueTo: post})
+		b.startBlock(body)
+		b.stmtList(s.Body.List)
+		b.jump(post)
+		if s.Post != nil {
+			b.startBlock(post)
+			b.add(s.Post)
+			b.jump(head)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.startBlock(after)
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		b.startBlock(head)
+		b.add(s) // the range head evaluates here
+		b.branch(body)
+		b.branch(after)
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after, continueTo: head})
+		b.startBlock(body)
+		b.stmtList(s.Body.List)
+		b.jump(head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.startBlock(after)
+
+	case *ast.SwitchStmt:
+		b.switchLike(s, s.Init, s.Body, label, true)
+
+	case *ast.TypeSwitchStmt:
+		b.switchLike(s, s.Init, s.Body, label, false)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.add(s)
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after})
+		entry := b.cur
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.cur = entry
+			b.branch(blk)
+			b.startBlock(blk)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(after)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.startBlock(after)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminatingCall(s.X) {
+			b.jump(b.g.Panic)
+		}
+
+	default:
+		// Assignments, declarations, defer, go, send, inc/dec, empty.
+		b.add(s)
+	}
+}
+
+// switchLike builds expression and type switches. allowFallthrough wires a
+// trailing fallthrough statement to the next case's body.
+func (b *builder) switchLike(head ast.Stmt, init ast.Stmt, body *ast.BlockStmt, label string, allowFallthrough bool) {
+	if init != nil {
+		b.add(init)
+	}
+	b.add(head)
+	after := b.newBlock()
+	entry := b.cur
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = entry
+		b.branch(blocks[i])
+	}
+	if !hasDefault {
+		b.cur = entry
+		b.branch(after)
+	}
+
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: after})
+	for i, cc := range clauses {
+		b.startBlock(blocks[i])
+		b.stmtList(cc.Body)
+		if allowFallthrough && endsInFallthrough(cc.Body) && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.startBlock(after)
+}
+
+func endsInFallthrough(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	br, ok := list[len(list)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label != nil {
+		return s.Label.Name
+	}
+	return ""
+}
+
+func (b *builder) findBreak(label string) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if label == "" || f.label == label {
+			return f.breakTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) findContinue(label string) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if f.continueTo == nil {
+			continue // switch/select frames are not continue targets
+		}
+		if label == "" || f.label == label {
+			return f.continueTo
+		}
+	}
+	return nil
+}
+
+// isTerminatingCall reports whether the expression statement is a call
+// that never returns: panic(...), os.Exit, log.Fatal*, runtime.Goexit,
+// and testing's t.Fatal*/t.Skip* family (by method name).
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Exit", "Goexit", "Fatal", "Fatalf", "Fatalln", "SkipNow", "Skipf", "Skip":
+			return true
+		}
+	}
+	return false
+}

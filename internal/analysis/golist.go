@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// This file is the standalone driver: it loads packages with
+// `go list -export -deps`, which compiles dependencies into the build
+// cache and reports the export-data file of every package, then
+// type-checks each matched package from source against that export data —
+// the same shape as a `go vet` unit, without requiring the go command to
+// orchestrate the tool.
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath     string
+	Name           string
+	Dir            string
+	GoFiles        []string
+	IgnoredGoFiles []string
+	Export         string
+	DepOnly        bool
+	Standard       bool
+	Imports        []string
+	ImportMap      map[string]string
+	Incomplete     bool
+	Error          *struct{ Err string }
+}
+
+// RunPatterns loads the packages matching the go-list patterns and runs
+// the analyzers over each non-dependency match, returning merged findings.
+func RunPatterns(patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go %v: %v\n%s", args, err, stderr.String())
+	}
+
+	var pkgs []*listPackage
+	exports := make(map[string]string)
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	var findings []Finding
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		unit := &Unit{
+			ImportPath:  p.ImportPath,
+			Compiler:    "gc",
+			ImportMap:   importMapFor(p),
+			PackageFile: exports,
+		}
+		for _, f := range p.GoFiles {
+			unit.GoFiles = append(unit.GoFiles, filepath.Join(p.Dir, f))
+		}
+		fset := token.NewFileSet()
+		fs, err := RunUnit(fset, unit, analyzers)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", p.ImportPath, err)
+		}
+		findings = append(findings, fs...)
+	}
+	return findings, nil
+}
+
+// importMapFor builds the import-path resolution map: identity for every
+// import, overlaid with the package's explicit ImportMap (vendoring).
+func importMapFor(p *listPackage) map[string]string {
+	m := make(map[string]string, len(p.Imports))
+	for _, imp := range p.Imports {
+		m[imp] = imp
+	}
+	for from, to := range p.ImportMap {
+		m[from] = to
+	}
+	return m
+}

@@ -1,0 +1,137 @@
+// Package ctxcheckpoint checks that morsel-processing loops honor
+// cancellation. The engine's latency guarantee (admission control can
+// shed a query mid-scan) depends on every worker consulting ctx at
+// morsel boundaries; a loop that processes morsels without ever touching
+// the context turns cancellation into a no-op for that worker.
+//
+// A "morsel loop" is a range statement over a slice, array, or channel
+// whose element is a named struct type called morsel (any case). Loops
+// that merely shuttle morsels (no calls in the body, e.g. filling a
+// queue) are exempt; loops that do work must reference a
+// context.Context value in their body — calling ctx.Err(), selecting on
+// ctx.Done(), or passing ctx to the per-morsel callee all count.
+package ctxcheckpoint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"astore/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheckpoint",
+	Doc:  "morsel-processing loops must check context cancellation",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			declHasCtx := referencesContext(pass.TypesInfo, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMorselRange(pass.TypesInfo, rs) {
+					return true
+				}
+				if !hasCall(rs.Body) {
+					return true // pure shuttling (queue fill): exempt
+				}
+				if !referencesContext(pass.TypesInfo, rs.Body) {
+					if declHasCtx {
+						pass.Reportf(rs.Pos(), "morsel loop body never checks ctx for cancellation")
+					} else {
+						pass.Reportf(rs.Pos(), "morsel loop in a function with no reachable context.Context")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isMorselRange reports whether the statement ranges over a collection of
+// morsels: a slice, array, or channel whose element is a named type whose
+// name is or ends in "morsel"/"Morsel".
+func isMorselRange(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return false
+	}
+	var elem types.Type
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	case *types.Chan:
+		elem = t.Elem()
+	default:
+		return false
+	}
+	if p, ok := elem.Underlying().(*types.Pointer); ok {
+		elem = p.Elem()
+	}
+	named, ok := elem.(*types.Named)
+	if !ok {
+		return false
+	}
+	return strings.HasSuffix(strings.ToLower(named.Obj().Name()), "morsel")
+}
+
+// referencesContext reports whether any identifier under n resolves to a
+// value of type context.Context.
+func referencesContext(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasCall reports whether the block contains any call that could do real
+// per-morsel work (builtin len/cap/append and conversions are ignored).
+func hasCall(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "len", "cap", "append", "make", "new":
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}

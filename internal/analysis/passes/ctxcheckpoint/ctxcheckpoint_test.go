@@ -1,0 +1,12 @@
+package ctxcheckpoint_test
+
+import (
+	"testing"
+
+	"astore/internal/analysis/analysistest"
+	"astore/internal/analysis/passes/ctxcheckpoint"
+)
+
+func TestCtxCheckpoint(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcheckpoint.Analyzer, "morselloop")
+}

@@ -1,0 +1,70 @@
+package morselloop
+
+import "context"
+
+type morsel struct{ lo, hi int }
+
+func process(m morsel) int { return m.hi - m.lo }
+
+// Serial scan that ignores its context: cancellation is a no-op here.
+func scanIgnoresCtx(ctx context.Context, ms []morsel) int {
+	total := 0
+	for _, m := range ms { // want `never checks ctx for cancellation`
+		total += process(m)
+	}
+	return total
+}
+
+// Worker draining a channel without a context anywhere in scope.
+func drain(ch chan morsel) int {
+	total := 0
+	for m := range ch { // want `no reachable context\.Context`
+		total += process(m)
+	}
+	return total
+}
+
+// Checking ctx.Err at the morsel boundary is the canonical legal form.
+func scanChecksErr(ctx context.Context, ms []morsel) (int, error) {
+	total := 0
+	for _, m := range ms {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += process(m)
+	}
+	return total, nil
+}
+
+// Selecting on ctx.Done inside a worker goroutine is legal; the loop is
+// inside a closure but the analysis sees the whole declaration.
+func workers(ctx context.Context, ch chan morsel, out chan int) {
+	go func() {
+		for m := range ch {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			out <- process(m)
+		}
+	}()
+}
+
+// Passing ctx to the per-morsel callee delegates the check: legal.
+func delegated(ctx context.Context, ms []morsel, f func(context.Context, morsel) int) int {
+	total := 0
+	for _, m := range ms {
+		total += f(ctx, m)
+	}
+	return total
+}
+
+// Pure shuttling — no calls in the body — is exempt even without ctx.
+func enqueue(ms []morsel) chan morsel {
+	ch := make(chan morsel, len(ms))
+	for _, m := range ms {
+		ch <- m
+	}
+	return ch
+}

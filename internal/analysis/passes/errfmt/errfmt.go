@@ -1,0 +1,110 @@
+// Package errfmt checks the repository's error-string convention: an
+// error constructed with errors.New or fmt.Errorf must identify its
+// originating package with a "pkg:" (or "pkg ...:") prefix, unless it
+// wraps another error with %w — wrapped errors inherit the inner
+// error's context, and double prefixes read badly.
+//
+// Legal:
+//
+//	fmt.Errorf("storage: column %q not found", name)
+//	fmt.Errorf("query %s: unknown table", q.Name)   // "pkg noun:" style
+//	fmt.Errorf("loading segment: %w", err)          // wraps, exempt
+//
+// Flagged:
+//
+//	errors.New("column missing")
+//	fmt.Errorf("column %q has %d rows", n, c)
+//
+// package main is exempt (binaries report through log prefixes), as are
+// _test.go files.
+package errfmt
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"astore/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errfmt",
+	Doc:  "error strings must carry the package-name prefix unless wrapping with %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			kind := errorCtor(pass.TypesInfo, call)
+			if kind == "" || pass.InTestFile(call.Pos()) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true // dynamic format string: out of scope
+			}
+			msg, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if kind == "fmt.Errorf" && strings.Contains(msg, "%w") {
+				return true // wrapping: inner error carries the context
+			}
+			if !hasPkgPrefix(msg, pass.Pkg.Name()) {
+				pass.Reportf(lit.Pos(),
+					"error string %q does not start with %q prefix (or wrap with %%w)",
+					clip(msg), pass.Pkg.Name()+":")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// errorCtor reports which error constructor the call is ("errors.New",
+// "fmt.Errorf", or "" for neither), resolved through the type checker so
+// local shadows of fmt/errors don't confuse it.
+func errorCtor(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case obj.Pkg().Path() == "errors" && obj.Name() == "New":
+		return "errors.New"
+	case obj.Pkg().Path() == "fmt" && obj.Name() == "Errorf":
+		return "fmt.Errorf"
+	}
+	return ""
+}
+
+// hasPkgPrefix accepts "pkg: ...", "pkg ...", and the module-wide
+// "astore: ..." prefix.
+func hasPkgPrefix(msg, pkg string) bool {
+	for _, p := range []string{pkg, "astore"} {
+		if strings.HasPrefix(msg, p+":") || strings.HasPrefix(msg, p+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func clip(s string) string {
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}

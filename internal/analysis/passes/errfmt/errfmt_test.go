@@ -1,0 +1,12 @@
+package errfmt_test
+
+import (
+	"testing"
+
+	"astore/internal/analysis/analysistest"
+	"astore/internal/analysis/passes/errfmt"
+)
+
+func TestErrfmt(t *testing.T) {
+	analysistest.Run(t, "testdata", errfmt.Analyzer, "widget")
+}

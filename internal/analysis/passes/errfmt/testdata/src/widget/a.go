@@ -1,0 +1,38 @@
+package widget
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinelBad = errors.New("spline not reticulated") // want `does not start with "widget:"`
+
+var errSentinelGood = errors.New("widget: spline not reticulated")
+
+func lookup(name string) error {
+	if name == "" {
+		return fmt.Errorf("no such widget %q", name) // want `does not start with "widget:"`
+	}
+	if name == "legacy" {
+		return errors.New("widget legacy mode is gone") // "pkg noun" style: legal
+	}
+	return fmt.Errorf("widget: %q not found", name)
+}
+
+func wrap(err error) error {
+	// Wrapping with %w is exempt: the inner error carries the prefix.
+	return fmt.Errorf("while flushing: %w", err)
+}
+
+func styled(q string) error {
+	// "pkg noun:" style used by the query package is accepted.
+	return fmt.Errorf("widget %s: parse failed", q)
+}
+
+func moduleWide() error {
+	return errors.New("astore: shutting down")
+}
+
+func dynamic(format string) error {
+	return fmt.Errorf(format, 1) // non-literal format: out of scope
+}

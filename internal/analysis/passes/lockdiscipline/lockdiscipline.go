@@ -1,0 +1,314 @@
+// Package lockdiscipline checks the engine's two mutex conventions.
+//
+// Convention 1 — the *Locked suffix. A function named xxxLocked is
+// documented as "caller already holds the mutex": it must never acquire
+// the receiver's mutex itself, directly or by calling another
+// same-receiver method that does — sync.Mutex is not reentrant, so that
+// is a guaranteed deadlock, and it deadlocks only on the path that
+// reaches it, which is exactly the path tests tend to miss.
+//
+// Convention 2 — machine-readable guard comments. A struct field whose
+// comment says "guarded by <mu>" may be touched only
+//
+//   - inside a function whose name ends in Locked (the caller holds it), or
+//   - inside a function that itself acquires <base>.<mu> (Lock or RLock)
+//     on the same base expression as the access.
+//
+// The check is syntactic and per-function, not flow-sensitive: it proves
+// the function participates in the locking protocol, not that every
+// interleaving is ordered. The -race detector covers the rest; this
+// analyzer catches the class of bug -race only finds when the schedule
+// cooperates.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"astore/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "*Locked functions must not re-acquire the mutex; 'guarded by mu' fields only touched under it",
+	Run:  run,
+}
+
+var guardRE = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	guards := collectGuards(pass)
+	locking := collectLockingMethods(pass)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				checkLockedFunc(pass, fd, locking)
+			}
+			checkGuardedAccesses(pass, fd, guards)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards maps each struct field object bearing a
+// "guarded by <mu>" comment to its mutex field name.
+func collectGuards(pass *analysis.Pass) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardName(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// methodKey identifies a method within the package for the transitive
+// lock map.
+type methodKey struct {
+	recv types.Type // the named receiver type (pointer stripped)
+	name string
+}
+
+// collectLockingMethods computes, transitively, which same-receiver
+// methods acquire any mutex field of their receiver.
+func collectLockingMethods(pass *analysis.Pass) map[methodKey]bool {
+	direct := make(map[methodKey]bool)
+	callees := make(map[methodKey][]methodKey)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recvName, recvType := receiver(pass, fd)
+			if recvType == nil {
+				continue
+			}
+			key := methodKey{recv: recvType, name: fd.Name.Name}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if mutexLockOn(pass, call, recvName) != "" {
+					direct[key] = true
+				}
+				if callee := sameReceiverCall(call, recvName); callee != "" {
+					callees[key] = append(callees[key], methodKey{recv: recvType, name: callee})
+				}
+				return true
+			})
+		}
+	}
+
+	// Propagate to a fixpoint: a method locks if any same-receiver callee
+	// locks.
+	locking := make(map[methodKey]bool, len(direct))
+	for k, v := range direct {
+		locking[k] = v
+	}
+	for changed := true; changed; {
+		changed = false
+		for caller, cs := range callees {
+			if locking[caller] {
+				continue
+			}
+			for _, c := range cs {
+				if locking[c] {
+					locking[caller] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return locking
+}
+
+// checkLockedFunc flags a *Locked function that acquires its receiver's
+// mutex, directly or through a same-receiver callee.
+func checkLockedFunc(pass *analysis.Pass, fd *ast.FuncDecl, locking map[methodKey]bool) {
+	recvName, recvType := receiver(pass, fd)
+	if recvType == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if mu := mutexLockOn(pass, call, recvName); mu != "" {
+			pass.Reportf(call.Pos(), "%s is a *Locked function but acquires %s.%s itself (deadlock: caller already holds it)",
+				fd.Name.Name, recvName, mu)
+			return true
+		}
+		if callee := sameReceiverCall(call, recvName); callee != "" && !strings.HasSuffix(callee, "Locked") {
+			if locking[methodKey{recv: recvType, name: callee}] {
+				pass.Reportf(call.Pos(), "%s is a *Locked function but calls %s.%s, which acquires the receiver's mutex",
+					fd.Name.Name, recvName, callee)
+			}
+		}
+		return true
+	})
+}
+
+// checkGuardedAccesses flags selector accesses to guarded fields in
+// functions that neither hold the Locked suffix nor lock the matching
+// mutex on the same base.
+func checkGuardedAccesses(pass *analysis.Pass, fd *ast.FuncDecl, guards map[types.Object]string) {
+	if len(guards) == 0 {
+		return
+	}
+	recvName, _ := receiver(pass, fd)
+	isLockedFn := strings.HasSuffix(fd.Name.Name, "Locked")
+
+	// lockedBases are the rendered base expressions the function locks
+	// (e.g. "t", "r.From"), each paired with the mutex field name used.
+	type baseLock struct{ base, mu string }
+	var acquired []baseLock
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			if muSel, ok := sel.X.(*ast.SelectorExpr); ok && isMutex(pass.TypesInfo.Types[muSel].Type) {
+				acquired = append(acquired, baseLock{base: types.ExprString(muSel.X), mu: muSel.Sel.Name})
+			}
+		}
+		return true
+	})
+	holds := func(base, mu string) bool {
+		for _, a := range acquired {
+			if a.base == base && a.mu == mu {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mu, guarded := guards[selection.Obj()]
+		if !guarded {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if isLockedFn && base == recvName {
+			return true // caller holds the receiver's mutex by contract
+		}
+		if holds(base, mu) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, but %s neither locks %s.%s nor has the Locked suffix",
+			base, sel.Sel.Name, mu, fd.Name.Name, base, mu)
+		return true
+	})
+}
+
+// receiver returns the receiver's name and named type (pointer
+// stripped), or ("", nil) for plain functions.
+func receiver(pass *analysis.Pass, fd *ast.FuncDecl) (string, types.Type) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return "", nil
+	}
+	name := fd.Recv.List[0].Names[0].Name
+	obj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	if obj == nil {
+		return name, nil
+	}
+	t := obj.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return name, t
+}
+
+// mutexLockOn reports the mutex field name when the call is
+// <recv>.<field>.Lock() or .RLock() with <field> of a sync mutex type.
+func mutexLockOn(pass *analysis.Pass, call *ast.CallExpr, recvName string) string {
+	if recvName == "" {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return ""
+	}
+	muSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if base, ok := muSel.X.(*ast.Ident); !ok || base.Name != recvName {
+		return ""
+	}
+	if !isMutex(pass.TypesInfo.Types[muSel].Type) {
+		return ""
+	}
+	return muSel.Sel.Name
+}
+
+// sameReceiverCall reports the method name when the call is
+// <recv>.method(...).
+func sameReceiverCall(call *ast.CallExpr, recvName string) string {
+	if recvName == "" {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if base, ok := sel.X.(*ast.Ident); ok && base.Name == recvName {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+func isMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}

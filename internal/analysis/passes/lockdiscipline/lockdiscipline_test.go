@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"astore/internal/analysis/analysistest"
+	"astore/internal/analysis/passes/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer, "lockeddb")
+}

@@ -1,0 +1,92 @@
+package lockeddb
+
+import "sync"
+
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]int // guarded by mu
+	hits    int            // guarded by mu
+	name    string         // immutable after construction
+}
+
+// get follows the protocol: lock, touch, unlock.
+func (c *cache) get(k string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[k]
+	if ok {
+		c.hits++
+	}
+	return v, ok
+}
+
+// evictLocked is a *Locked helper: touching guarded fields is its whole
+// purpose, and it must not re-acquire c.mu.
+func (c *cache) evictLocked(k string) {
+	delete(c.entries, k)
+}
+
+// badLocked re-acquires the mutex its caller already holds: deadlock.
+func (c *cache) badLocked(k string) {
+	c.mu.Lock() // want `badLocked is a \*Locked function but acquires c\.mu itself`
+	delete(c.entries, k)
+	c.mu.Unlock()
+}
+
+// reset locks, so calling it from a *Locked function deadlocks too.
+func (c *cache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]int{}
+}
+
+// clearLocked deadlocks transitively through reset.
+func (c *cache) clearLocked() {
+	c.reset() // want `clearLocked is a \*Locked function but calls c\.reset, which acquires the receiver's mutex`
+}
+
+// peek reads a guarded field with no lock and no Locked suffix.
+func (c *cache) peek(k string) int {
+	return c.entries[k] // want `c\.entries is guarded by mu, but peek neither locks c\.mu`
+}
+
+// stats reads hits without the lock.
+func stats(c *cache) int {
+	return c.hits // want `c\.hits is guarded by mu, but stats neither locks c\.mu`
+}
+
+// describe touches only unguarded fields: fine without the lock.
+func (c *cache) describe() string {
+	return c.name
+}
+
+// drain accesses a guarded field of ANOTHER cache: locking our own mutex
+// is not enough, the other base must be locked.
+func (c *cache) drain(other *cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	other.mu.Lock()
+	for k, v := range other.entries {
+		c.entries[k] = v
+	}
+	other.mu.Unlock()
+}
+
+// steal forgets to lock the other base.
+func (c *cache) steal(other *cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries["x"] = other.hits // want `other\.hits is guarded by mu, but steal neither locks other\.mu`
+}
+
+type gauge struct {
+	rw sync.RWMutex
+	v  int // guarded by rw
+}
+
+// read uses an RLock: reads under the read lock are legal.
+func (g *gauge) read() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.v
+}

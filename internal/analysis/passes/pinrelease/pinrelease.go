@@ -1,0 +1,466 @@
+// Package pinrelease proves, lostcancel-style, that every snapshot pin
+// the engine hands out is released on every path. A pin (Table.Snapshot,
+// Engine.Acquire, Database.Snapshot / SnapshotSet's release func, any
+// Pin-family method) blocks consolidation from reclaiming superseded
+// segment chunks; a leaked pin is an unbounded memory hold that no test
+// notices until a long-running server stops reclaiming.
+//
+// The analyzer recognizes an acquisition as a call to a method or
+// function named Snapshot, SnapshotSet, Acquire, or Pin whose results
+// include a releasable handle — a value with a Release() method, or a
+// plain func() release callback. It then walks the enclosing function's
+// control-flow graph (internal/analysis/cflow) and reports:
+//
+//   - a path from the acquisition to a return on which the handle is
+//     neither released (x.Release(), release(), or a defer of either)
+//     nor transferred away (returned, stored, passed, or captured);
+//   - an acquisition whose handle is discarded outright (assigned to _,
+//     or the call used as a bare statement);
+//   - a path on which the handle is explicitly released twice.
+//
+// Error-return idiom: for `v, err := e.Acquire()`, a return statement
+// that mentions err is treated as the failure exit — the handle is nil
+// there and needs no release. Paths into panic are ignored (deferred
+// releases still run).
+package pinrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"astore/internal/analysis"
+	"astore/internal/analysis/cflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "pinrelease",
+	Doc:  "snapshot pins must be released on every path (and not released twice)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+			// Function literals get their own CFG: a pin acquired inside a
+			// goroutine body must be released within that body.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkFunc(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// acquisition is one tracked pin: the statement that created it, the
+// handle variable, and the companion error variable (if the call also
+// returned an error).
+type acquisition struct {
+	stmt    ast.Stmt
+	call    *ast.CallExpr
+	handle  types.Object
+	err     types.Object
+	deposed bool // handle assigned to _, or call result unused
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	acqs := findAcquisitions(pass, body)
+	if len(acqs) == 0 {
+		return
+	}
+	g := cflow.New(body)
+	for _, acq := range acqs {
+		if acq.deposed {
+			pass.Reportf(acq.call.Pos(), "result of %s carries a pin; discarding it leaks the pin", types.ExprString(acq.call.Fun))
+			continue
+		}
+		analyze(pass, g, acq)
+	}
+}
+
+// findAcquisitions scans the statements of body (not nested function
+// literals) for pin-acquiring calls.
+func findAcquisitions(pass *analysis.Pass, body *ast.BlockStmt) []*acquisition {
+	var acqs []*acquisition
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate CFG
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isAcquireCall(call) {
+					if acq := classify(pass, n, call, n.Lhs); acq != nil {
+						acqs = append(acqs, acq)
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isAcquireCall(call) && resultHasHandle(pass, call) {
+				acqs = append(acqs, &acquisition{stmt: n, call: call, deposed: true})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return acqs
+}
+
+// isAcquireCall matches the engine's acquisition vocabulary by name.
+func isAcquireCall(call *ast.CallExpr) bool {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	case *ast.Ident:
+		name = fn.Name
+	default:
+		return false
+	}
+	switch name {
+	case "Snapshot", "SnapshotSet", "Acquire", "Pin":
+		return true
+	}
+	return false
+}
+
+// classify pairs the call's result types with the assignment's LHS,
+// returning the tracked handle and companion error (or a deposed
+// acquisition when the handle lands in _). Returns nil when no result is
+// a releasable handle.
+func classify(pass *analysis.Pass, stmt ast.Stmt, call *ast.CallExpr, lhs []ast.Expr) *acquisition {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return nil
+	}
+	var results []types.Type
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			results = append(results, tuple.At(i).Type())
+		}
+	} else {
+		results = []types.Type{tv.Type}
+	}
+	if len(results) != len(lhs) {
+		return nil
+	}
+	acq := &acquisition{stmt: stmt, call: call}
+	for i, t := range results {
+		id, isIdent := lhs[i].(*ast.Ident)
+		switch {
+		case isHandleType(pass, t):
+			if !isIdent || id.Name == "_" {
+				acq.deposed = true
+				continue
+			}
+			if acq.handle == nil { // first handle result is the pin
+				acq.handle = objOf(pass, id)
+			}
+		case isErrorType(t) && isIdent && id.Name != "_":
+			acq.err = objOf(pass, id)
+		}
+	}
+	if acq.handle == nil && !acq.deposed {
+		return nil
+	}
+	if acq.handle != nil {
+		acq.deposed = false // a live handle outweighs a discarded extra
+	}
+	return acq
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func resultHasHandle(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isHandleType(pass, tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isHandleType(pass, tv.Type)
+}
+
+// isHandleType reports whether t is a releasable pin handle: it has a
+// Release() method, or it is a bare func() release callback.
+func isHandleType(pass *analysis.Pass, t types.Type) bool {
+	if sig, ok := t.Underlying().(*types.Signature); ok {
+		return sig.Params().Len() == 0 && sig.Results().Len() == 0
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, pass.Pkg, "Release")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 0
+}
+
+func isErrorType(t types.Type) bool {
+	return t.String() == "error"
+}
+
+// ---- path analysis ----
+
+// state is the tracked handle's status along one path.
+type state struct {
+	live     bool // acquired, not yet released/escaped/failed
+	released bool // explicitly released once
+	deferred bool // a defer will release it at any exit
+}
+
+// event classification for one CFG node.
+type eventKind int
+
+const (
+	evNone eventKind = iota
+	evRelease
+	evDeferRelease
+	evEscape    // ownership transferred: stop tracking
+	evErrReturn // failure-path return mentioning the companion error
+)
+
+func analyze(pass *analysis.Pass, g *cflow.Graph, acq *acquisition) {
+	// Locate the acquisition statement in the graph.
+	startBlock, startIdx := -1, -1
+	for bi, b := range g.Blocks {
+		for ni, n := range b.Nodes {
+			if n == ast.Node(acq.stmt) {
+				startBlock, startIdx = bi, ni
+			}
+		}
+	}
+	if startBlock < 0 {
+		return // statement not in this body's CFG (shouldn't happen)
+	}
+
+	type work struct {
+		block *cflow.Block
+		idx   int // node index to start at
+		st    state
+	}
+	seen := make(map[int]map[state]bool)
+	doubles := make(map[token.Pos]bool)
+	leaked := false
+
+	push := func(wl []work, b *cflow.Block, st state) []work {
+		if m := seen[b.Index]; m != nil && m[st] {
+			return wl
+		}
+		if seen[b.Index] == nil {
+			seen[b.Index] = make(map[state]bool)
+		}
+		seen[b.Index][st] = true
+		return append(wl, work{block: b, idx: 0, st: st})
+	}
+
+	wl := []work{{block: g.Blocks[startBlock], idx: startIdx + 1, st: state{live: true}}}
+	for len(wl) > 0 && !leaked {
+		w := wl[len(wl)-1]
+		wl = wl[:len(wl)-1]
+		st := w.st
+		closed := false // path ended safely mid-block (error return)
+		for i := w.idx; i < len(w.block.Nodes); i++ {
+			n := w.block.Nodes[i]
+			if n == ast.Node(acq.stmt) {
+				// Loop back edge re-executes the acquisition: the handle is
+				// re-bound to a fresh pin, so tracking starts over.
+				st = state{live: true}
+				continue
+			}
+			switch classifyNode(pass, n, acq) {
+			case evRelease:
+				if st.released && !st.live {
+					if !doubles[n.Pos()] {
+						doubles[n.Pos()] = true
+						pass.Reportf(n.Pos(), "pin from %s already released on this path (double release)", types.ExprString(acq.call.Fun))
+					}
+				}
+				st.live = false
+				st.released = true
+			case evDeferRelease:
+				st.deferred = true
+			case evEscape:
+				st.live = false
+			case evErrReturn:
+				if st.live {
+					closed = true
+				}
+			}
+			if closed {
+				break
+			}
+		}
+		if closed {
+			continue
+		}
+		if w.block == g.Exit {
+			if st.live && !st.deferred {
+				leaked = true
+				pass.Reportf(acq.call.Pos(), "pin from %s is not released on every path (leak)", types.ExprString(acq.call.Fun))
+			}
+			continue
+		}
+		if w.block == g.Panic {
+			continue // deferred releases run during panic; other paths moot
+		}
+		for _, succ := range w.block.Succs {
+			wl = push(wl, succ, st)
+		}
+	}
+}
+
+// classifyNode determines what a CFG node does to the tracked handle.
+// Structured statements (if/for/switch heads) contribute only their
+// condition expressions — their bodies live in successor blocks.
+func classifyNode(pass *analysis.Pass, n ast.Node, acq *acquisition) eventKind {
+	switch n := n.(type) {
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+		*ast.TypeSwitchStmt, *ast.SelectStmt:
+		return evNone // head marker; condition cannot release or escape
+
+	case *ast.ExprStmt:
+		if isReleaseCall(pass, n.X, acq.handle) {
+			return evRelease
+		}
+		if usesObjEscaping(pass, n, acq.handle) {
+			return evEscape // handle passed to some call
+		}
+		return evNone
+
+	case *ast.DeferStmt:
+		if isReleaseCall(pass, n.Call, acq.handle) {
+			return evDeferRelease
+		}
+		// defer func() { v.Release() }() — a closure whose body releases.
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			rel := false
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if e, ok := m.(ast.Expr); ok && isReleaseCall(pass, e, acq.handle) {
+					rel = true
+				}
+				return !rel
+			})
+			if rel {
+				return evDeferRelease
+			}
+		}
+		if usesObjEscaping(pass, n, acq.handle) {
+			return evEscape
+		}
+		return evNone
+
+	case *ast.ReturnStmt:
+		if usesObj(pass, n, acq.handle) {
+			return evEscape // ownership transferred to the caller
+		}
+		if acq.err != nil && usesObj(pass, n, acq.err) {
+			return evErrReturn
+		}
+		return evNone
+
+	default:
+		// Assignments, sends, declarations, go statements: any mention of
+		// the handle (other than as a method receiver) stores or shares
+		// it — ownership moves elsewhere.
+		if usesObjEscaping(pass, n, acq.handle) {
+			return evEscape
+		}
+		return evNone
+	}
+}
+
+// isReleaseCall matches v.Release() and release-callback invocation v().
+func isReleaseCall(pass *analysis.Pass, e ast.Expr, handle types.Object) bool {
+	if handle == nil {
+		return false
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn.Sel.Name != "Release" {
+			return false
+		}
+		id, ok := fn.X.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == handle
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fn] == handle
+	}
+	return false
+}
+
+// usesObj reports whether any identifier under n resolves to obj,
+// excluding identifiers that form a release call (those are classified
+// separately).
+func usesObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(ast.Expr); ok && isReleaseCall(pass, call, obj) {
+			return false // v.Release() inside a larger statement
+		}
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// usesObjEscaping is usesObj minus plain method-receiver uses: calling
+// v.Rows() reads through the handle but does not move ownership, so it
+// neither releases nor escapes.
+func usesObjEscaping(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	receiverUse := make(map[*ast.Ident]bool)
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					receiverUse[id] = true
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj && !receiverUse[id] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package pinrelease_test
+
+import (
+	"testing"
+
+	"astore/internal/analysis/analysistest"
+	"astore/internal/analysis/passes/pinrelease"
+)
+
+func TestPinRelease(t *testing.T) {
+	analysistest.Run(t, "testdata", pinrelease.Analyzer, "pins")
+}

@@ -1,0 +1,146 @@
+package pins
+
+import "errors"
+
+// Snapshot mirrors the engine's pin handle shape.
+type Snapshot struct{ rows int }
+
+func (s *Snapshot) Release()  {}
+func (s *Snapshot) Rows() int { return s.rows }
+
+type Table struct{}
+
+func (t *Table) Snapshot() *Snapshot { return &Snapshot{} }
+
+type Engine struct{ broken bool }
+
+func (e *Engine) Acquire() (*Snapshot, error) {
+	if e.broken {
+		return nil, errors.New("pins: engine broken")
+	}
+	return &Snapshot{}, nil
+}
+
+// SnapshotSet mirrors the multi-table variant: the pin is the release
+// callback.
+func SnapshotSet(ts []*Table) (map[*Table]int, func()) {
+	return nil, func() {}
+}
+
+// --- violations ---
+
+func leakOnEarlyReturn(t *Table, n int) int {
+	snap := t.Snapshot() // want `not released on every path`
+	if n < 0 {
+		return -1 // leaks: no release on this branch
+	}
+	r := snap.Rows()
+	snap.Release()
+	return r
+}
+
+func discardedResult(t *Table) {
+	t.Snapshot() // want `discarding it leaks the pin`
+}
+
+func discardedToBlank(t *Table) {
+	_ = t.Snapshot() // want `discarding it leaks the pin`
+}
+
+func doubleRelease(t *Table, cond bool) {
+	snap := t.Snapshot()
+	if cond {
+		snap.Release()
+	}
+	snap.Release() // want `double release`
+}
+
+func releaseFuncLeak(ts []*Table, n int) {
+	_, release := SnapshotSet(ts) // want `not released on every path`
+	if n > 0 {
+		return // leaks: release callback never invoked
+	}
+	release()
+}
+
+func leakBeforeDefer(e *Engine) (int, error) {
+	v, err := e.Acquire() // want `not released on every path`
+	if err != nil {
+		return 0, err
+	}
+	if v.Rows() == 0 {
+		return 0, nil // leaks: defer not yet installed
+	}
+	defer v.Release()
+	return v.Rows(), nil
+}
+
+// --- legal patterns ---
+
+func legalDefer(e *Engine) (int, error) {
+	v, err := e.Acquire()
+	if err != nil {
+		return 0, err // failure path: handle is nil, nothing to release
+	}
+	defer v.Release()
+	return v.Rows(), nil
+}
+
+func legalExplicitAllPaths(t *Table, n int) int {
+	snap := t.Snapshot()
+	if n < 0 {
+		snap.Release()
+		return -1
+	}
+	r := snap.Rows()
+	snap.Release()
+	return r
+}
+
+func legalTransfer(t *Table) *Snapshot {
+	snap := t.Snapshot()
+	return snap // ownership moves to the caller
+}
+
+func legalDeferredClosure(t *Table) int {
+	snap := t.Snapshot()
+	defer func() { snap.Release() }()
+	return snap.Rows()
+}
+
+func legalReleaseFunc(ts []*Table) {
+	_, release := SnapshotSet(ts)
+	defer release()
+}
+
+func legalStored(t *Table, sink *[]*Snapshot) {
+	snap := t.Snapshot()
+	*sink = append(*sink, snap) // stored: ownership moves to the sink
+}
+
+// Re-acquiring into the same := binding each iteration is legal: the
+// loop's back edge re-binds a fresh pin, so the per-iteration Release is
+// not a double release.
+func legalLoopReacquire(ts []*Table) []int {
+	var rows []int
+	for _, t := range ts {
+		snap := t.Snapshot()
+		rows = append(rows, snap.Rows())
+		snap.Release()
+	}
+	return rows
+}
+
+// A loop that leaks one pin per iteration is still a leak.
+func loopLeak(ts []*Table, stop int) int {
+	total := 0
+	for i, t := range ts {
+		snap := t.Snapshot() // want `not released on every path`
+		if i == stop {
+			break // leaks this iteration's pin
+		}
+		total += snap.Rows()
+		snap.Release()
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+package sealedmut_test
+
+import (
+	"testing"
+
+	"astore/internal/analysis/analysistest"
+	"astore/internal/analysis/passes/sealedmut"
+)
+
+func TestSealedMut(t *testing.T) {
+	analysistest.Run(t, "testdata", sealedmut.Analyzer, "storage", "outside")
+}

@@ -1,0 +1,14 @@
+package outside
+
+// A *Col type accessed from outside the storage package: the
+// //astore:chunkwrite directive must NOT allowlist writes here.
+type StrCol struct{ V []string }
+
+//astore:chunkwrite
+func directiveIgnoredOutsideStorage(c *StrCol) {
+	c.V[0] = "x" // want `write into sealed chunk slice c\.V`
+}
+
+func reader(c *StrCol) string {
+	return c.V[0]
+}

@@ -1,0 +1,51 @@
+package storage
+
+// Int32Col mirrors the engine's chunk shape: a named *Col struct whose
+// V field is the shared backing slice of a sealed segment.
+type Int32Col struct{ V []int32 }
+
+// DictCol carries its codes in Codes.
+type DictCol struct {
+	Codes []int32
+	Dict  []string
+}
+
+// notAChunk has a V field but is not a *Col type: writes are fine.
+type notAChunk struct{ V []int32 }
+
+func patchInPlace(c *Int32Col, i int) {
+	c.V[i] = 0 // want `write into sealed chunk slice c\.V`
+}
+
+func regrow(c *Int32Col, x int32) {
+	c.V = append(c.V, x) // want `reassignment of chunk slice c\.V`
+}
+
+func bulkOverwrite(d *DictCol, src []int32) {
+	copy(d.Codes, src) // want `copy into sealed chunk slice d\.Codes`
+}
+
+func bump(c *Int32Col, i int) {
+	c.V[i]++ // want `write into sealed chunk slice c\.V`
+}
+
+// cloneChunk is an audited construction site: the directive allowlists
+// it inside the storage package.
+//
+//astore:chunkwrite
+func cloneChunk(c *Int32Col) *Int32Col {
+	v := make([]int32, len(c.V))
+	copy(v, c.V)
+	out := &Int32Col{V: v}
+	out.V = append(out.V, 0)
+	out.V[0] = 1
+	return out
+}
+
+func readOnly(c *Int32Col, i int) int32 {
+	return c.V[i] // reads are always fine
+}
+
+func unrelated(n *notAChunk, i int) {
+	n.V[i] = 7 // not a *Col type: fine
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+)
+
+// A Unit is one compilation unit to analyze: the package's source files
+// plus the importer configuration needed to type-check them against the
+// export data of already-compiled dependencies. Both drivers — the
+// go vet -vettool protocol (unitchecker.go) and the standalone go-list
+// loader (golist.go) — reduce their input to a Unit.
+type Unit struct {
+	// ImportPath is the package path of the unit.
+	ImportPath string
+	// GoFiles are the absolute paths of the unit's Go sources (including
+	// any _test.go files the build system included in the unit).
+	GoFiles []string
+	// Compiler is "gc" (the only supported value; empty means gc).
+	Compiler string
+	// GoVersion is the minimum Go version ("go1.24"), or empty.
+	GoVersion string
+	// ImportMap resolves source-level import paths to package paths.
+	ImportMap map[string]string
+	// PackageFile maps package paths to files containing gc export data.
+	PackageFile map[string]string
+}
+
+// A Finding is one positioned diagnostic from one analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (astore-vet/%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// RunUnit parses and type-checks the unit, runs every analyzer over it,
+// and returns the merged findings sorted by position.
+func RunUnit(fset *token.FileSet, unit *Unit, analyzers []*Analyzer) ([]Finding, error) {
+	var files []*ast.File
+	for _, name := range unit.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := unit.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gcImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := unit.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if resolved, ok := unit.ImportMap[importPath]; ok {
+			importPath = resolved
+		}
+		return gcImporter.Import(importPath)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: unit.GoVersion,
+	}
+	info := NewTypesInfo()
+	pkg, err := tc.Check(unit.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return RunChecked(fset, files, pkg, info, analyzers)
+}
+
+// NewTypesInfo allocates a types.Info with every map analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// RunChecked runs the analyzers over an already type-checked package and
+// returns findings sorted by position. It is shared by RunUnit and the
+// analysistest harness.
+func RunChecked(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the command-line protocol required by
+// `go vet -vettool=...`:
+//
+//	-V=full    print an executable description for build caching
+//	-flags     print the tool's analyzer flags as JSON
+//	foo.cfg    analyze the single compilation unit described by the
+//	           JSON config file the go command wrote
+//
+// Anything else is treated as package patterns and handed to the
+// standalone go-list driver (golist.go), so the same binary serves both
+// `go vet -vettool=$(pwd)/astore-vet ./...` and `./astore-vet ./...`.
+
+// vetConfig mirrors the JSON config the go command writes for each vet
+// action (cmd/go/internal/work.vetConfig). Fields this driver does not
+// consume are omitted; unknown JSON fields are ignored by encoding/json.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of an astore-vet-like binary. It never returns.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+	if err := Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, `%[1]s checks the astore engine invariants the compiler cannot see.
+
+Usage:
+	%[1]s package...      # standalone: load, typecheck, analyze
+	go vet -vettool=$(command -v %[1]s) ./...
+
+Analyzers:
+`, progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "	%-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	version := fs.String("V", "", "print version and exit (-V=full, for the go command)")
+	flagsJSON := fs.Bool("flags", false, "print analyzer flags as JSON and exit (for the go command)")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	if *version != "" {
+		if *version != "full" {
+			log.Fatalf("unsupported flag value: -V=%s", *version)
+		}
+		printVersion(progname)
+		os.Exit(0)
+	}
+	if *flagsJSON {
+		printFlags(analyzers)
+		os.Exit(0)
+	}
+
+	var active []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runVetUnit(args[0], active)
+		return // unreachable; runVetUnit exits
+	}
+	// Standalone mode: args are package patterns.
+	findings, err := RunPatterns(args, active)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// runVetUnit performs one vet action for the go command and exits.
+func runVetUnit(cfgFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// The go command caches the tool's "vetx" (fact) output per package
+	// and replays it into dependent vet actions. These analyzers are all
+	// intrapackage — they export no facts — so the vetx file is always
+	// empty, and VetxOnly actions (dependencies analyzed only for facts)
+	// can succeed without parsing a single file.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	unit := &Unit{
+		ImportPath:  cfg.ImportPath,
+		GoFiles:     cfg.GoFiles,
+		Compiler:    cfg.Compiler,
+		GoVersion:   cfg.GoVersion,
+		ImportMap:   cfg.ImportMap,
+		PackageFile: cfg.PackageFile,
+	}
+	fset := token.NewFileSet()
+	findings, err := RunUnit(fset, unit, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0) // the compiler will report the parse/type error
+		}
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// printVersion emits the -V=full line the go command parses for its build
+// cache key: the last field must be a content hash of this executable, so
+// rebuilding the tool invalidates cached vet results.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+// printFlags describes the tool's flags as the JSON array the go command
+// reads via `tool -flags`, so `go vet -vettool=... -pinrelease=false`
+// parses.
+func printFlags(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+func firstLine(doc string) string {
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		return doc[:i]
+	}
+	return doc
+}

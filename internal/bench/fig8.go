@@ -109,12 +109,12 @@ func runFig8(cfg Config) ([]*Report, error) {
 				return nil, err
 			}
 			if len(res.Rows) != 1 {
-				return nil, fmt.Errorf("fig8: %s returned %d rows", e.name, len(res.Rows))
+				return nil, fmt.Errorf("bench fig8: %s returned %d rows", e.name, len(res.Rows))
 			}
 			if wantSum == 0 {
 				wantSum = res.Rows[0].Aggs[0]
 			} else if res.Rows[0].Aggs[0] != wantSum {
-				return nil, fmt.Errorf("fig8: %s disagrees on %s", e.name, spec.name)
+				return nil, fmt.Errorf("bench fig8: %s disagrees on %s", e.name, spec.name)
 			}
 			row = append(row, ms(d))
 		}

@@ -109,7 +109,7 @@ func runTable2(cfg Config) ([]*Report, error) {
 			return nil, err
 		}
 		if cNPO != cAIR || cPRO != cAIR {
-			return nil, fmt.Errorf("join kernels disagree on %s: %d %d %d", spec.name, cNPO, cPRO, cAIR)
+			return nil, fmt.Errorf("bench: join kernels disagree on %s: %d %d %d", spec.name, cNPO, cPRO, cAIR)
 		}
 		rep.Rows = append(rep.Rows, []string{
 			label,

@@ -54,10 +54,10 @@ type DB struct {
 	order   []string // fact-table names in catalog order
 
 	mu    sync.Mutex
-	cache map[cacheKey]*list.Element
-	lru   *list.List // of *cacheEntry, most recently used first
-	cap   int
-	stats Stats
+	cache map[cacheKey]*list.Element // guarded by mu
+	lru   *list.List                 // guarded by mu; of *cacheEntry, most recently used first
+	cap   int                        // guarded by mu
+	stats Stats                      // guarded by mu
 }
 
 type cacheKey struct{ fact, sig string }

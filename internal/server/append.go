@@ -108,7 +108,7 @@ func convertRow(t *storage.Table, jsonRow map[string]any) (map[string]any, error
 	for col, v := range jsonRow {
 		typ, ok := t.ColumnType(col)
 		if !ok {
-			return nil, fmt.Errorf("unknown column %q", col)
+			return nil, fmt.Errorf("server: unknown column %q", col)
 		}
 		cv, err := convertValue(typ, col, v)
 		if err != nil {
@@ -120,7 +120,7 @@ func convertRow(t *storage.Table, jsonRow map[string]any) (map[string]any, error
 	// error message in terms of the JSON body.
 	for _, col := range t.ColumnNames() {
 		if _, ok := vals[col]; !ok {
-			return nil, fmt.Errorf("missing column %q", col)
+			return nil, fmt.Errorf("server: missing column %q", col)
 		}
 	}
 	return vals, nil
@@ -131,35 +131,35 @@ func convertValue(typ storage.Type, col string, v any) (any, error) {
 	case storage.TInt32, storage.TInt64:
 		n, ok := v.(json.Number)
 		if !ok {
-			return nil, fmt.Errorf("column %q wants an integer, got %T", col, v)
+			return nil, fmt.Errorf("server: column %q wants an integer, got %T", col, v)
 		}
 		i, err := strconv.ParseInt(n.String(), 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("column %q wants an integer, got %q", col, n.String())
+			return nil, fmt.Errorf("server: column %q wants an integer, got %q", col, n.String())
 		}
 		if typ == storage.TInt32 && (i < math.MinInt32 || i > math.MaxInt32) {
 			// storage.appendValue would silently truncate to int32.
-			return nil, fmt.Errorf("column %q: %d overflows int32", col, i)
+			return nil, fmt.Errorf("server: column %q: %d overflows int32", col, i)
 		}
 		return i, nil
 	case storage.TFloat64:
 		n, ok := v.(json.Number)
 		if !ok {
-			return nil, fmt.Errorf("column %q wants a number, got %T", col, v)
+			return nil, fmt.Errorf("server: column %q wants a number, got %T", col, v)
 		}
 		f, err := n.Float64()
 		if err != nil {
-			return nil, fmt.Errorf("column %q wants a number, got %q", col, n.String())
+			return nil, fmt.Errorf("server: column %q wants a number, got %q", col, n.String())
 		}
 		return f, nil
 	case storage.TString, storage.TDict:
 		s, ok := v.(string)
 		if !ok {
-			return nil, fmt.Errorf("column %q wants a string, got %T", col, v)
+			return nil, fmt.Errorf("server: column %q wants a string, got %T", col, v)
 		}
 		return s, nil
 	default:
-		return nil, fmt.Errorf("column %q has unsupported type", col)
+		return nil, fmt.Errorf("server: column %q has unsupported type", col)
 	}
 }
 
@@ -200,10 +200,10 @@ func validateFKs(bounds map[string]fkBound, vals map[string]any) error {
 			continue // missing column: caught by convertRow
 		}
 		if v < 0 || int(v) >= b.n {
-			return fmt.Errorf("fk %s=%d out of range for %s (%d rows)", col, v, b.refName, b.n)
+			return fmt.Errorf("server: fk %s=%d out of range for %s (%d rows)", col, v, b.refName, b.n)
 		}
 		if b.del != nil && b.del.Get(int(v)) {
-			return fmt.Errorf("fk %s=%d references a deleted row of %s", col, v, b.refName)
+			return fmt.Errorf("server: fk %s=%d references a deleted row of %s", col, v, b.refName)
 		}
 	}
 	return nil

@@ -112,10 +112,10 @@ type Server struct {
 	closing   atomic.Bool
 	drainMu   sync.Mutex
 	drainCond *sync.Cond
-	active    int
+	active    int // guarded by drainMu
 
 	srvMu   sync.Mutex
-	httpSrv *http.Server // set by ListenAndServe
+	httpSrv *http.Server // guarded by srvMu; set by ListenAndServe
 
 	// testHookAdmitted, when non-nil, runs after a query passes admission
 	// and before it executes; tests use it to hold slots occupied.

@@ -25,7 +25,18 @@ func Consolidate(db *Database, t *Table) ([]int32, error) {
 		return nil, fmt.Errorf("storage: consolidate %s: table pinned by %d snapshot(s)", t.Name, t.pins)
 	}
 	for _, r := range refs {
-		if r.From != t && r.From.pins > 0 {
+		if r.From == t {
+			continue
+		}
+		// pins is guarded by the referrer's own mutex (Snapshot and
+		// Release write it under r.From.mu, not t.mu). One referrer mutex
+		// at a time while holding t.mu — same ordering as the rewrite
+		// loop below, so this cannot deadlock against single-table
+		// writers.
+		r.From.mu.Lock()
+		pinned := r.From.pins
+		r.From.mu.Unlock()
+		if pinned > 0 {
 			return nil, fmt.Errorf("storage: consolidate %s: referrer %s pinned by snapshot", t.Name, r.From.Name)
 		}
 	}
@@ -40,8 +51,13 @@ func Consolidate(db *Database, t *Table) ([]int32, error) {
 	}
 
 	// No live reference may point at a deleted row; check before mutating.
+	// Each referrer's FK column is read under its own mutex so a concurrent
+	// writer cannot append to (and possibly reallocate) it mid-scan.
 	for _, r := range refs {
 		from := r.From
+		if from != t {
+			from.mu.Lock()
+		}
 		err := from.forEachInt32(r.Col, func(chunk []int32, base int) error {
 			for i, v := range chunk {
 				if from.IsDeleted(base + i) {
@@ -54,6 +70,9 @@ func Consolidate(db *Database, t *Table) ([]int32, error) {
 			}
 			return nil
 		})
+		if from != t {
+			from.mu.Unlock()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -179,6 +198,8 @@ func (t *Table) consolidateSegmentedLocked() []int32 {
 // by Consolidate) and are parked at 0, a safe in-range index. Segmented
 // referrers are rewritten chunk by chunk with their epochs bumped (cached
 // plan bindings must rebind) and the column's zone maps recomputed.
+//
+//astore:chunkwrite
 func (t *Table) remapFKLocked(col string, remap []int32) {
 	if t.Segmented() {
 		for _, s := range t.allSegsLocked() {

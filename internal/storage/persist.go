@@ -374,7 +374,7 @@ func writeColumnPayload(w *bufio.Writer, c Column, n int) error {
 			writeU32(w, uint32(v))
 		}
 	default:
-		return fmt.Errorf("unknown column type %T", c)
+		return fmt.Errorf("storage: unknown column type %T", c)
 	}
 	return nil
 }
@@ -431,7 +431,7 @@ func readColumn(r *bufio.Reader, n int, dicts []*Dict) (Column, error) {
 			return nil, err
 		}
 		if int(di) >= len(dicts) {
-			return nil, fmt.Errorf("dictionary index %d out of range", di)
+			return nil, fmt.Errorf("storage: dictionary index %d out of range", di)
 		}
 		codes := make([]int32, n)
 		d := dicts[di]
@@ -441,13 +441,13 @@ func readColumn(r *bufio.Reader, n int, dicts []*Dict) (Column, error) {
 				return nil, err
 			}
 			if int(x) >= d.Len() {
-				return nil, fmt.Errorf("code %d out of dictionary range", x)
+				return nil, fmt.Errorf("storage: code %d out of dictionary range", x)
 			}
 			codes[i] = int32(x)
 		}
 		return &DictCol{Codes: codes, Dict: d}, nil
 	default:
-		return nil, fmt.Errorf("unknown column type byte %d", tb)
+		return nil, fmt.Errorf("storage: unknown column type byte %d", tb)
 	}
 }
 

@@ -204,9 +204,9 @@ func (t *Table) newSegment(capacity int) *Segment {
 	return s
 }
 
-// sealTail recomputes exact zones for the tail, marks it sealed, appends it
+// sealTailLocked recomputes exact zones for the tail, marks it sealed, appends it
 // to the sealed list, and installs a fresh tail. Caller holds t.mu.
-func (t *Table) sealTail() {
+func (t *Table) sealTailLocked() {
 	tail := t.tail
 	for name, c := range tail.cols {
 		if z, ok := zoneOfChunk(c, tail.n); ok {
@@ -336,6 +336,8 @@ func (t *Table) flattenLocked() (map[string]Column, *Bitmap) {
 // forces explicit segment row counts (used by persistence to restore the
 // exact on-disk segmentation); otherwise every sealed segment holds exactly
 // segTarget rows. Caller holds t.mu; t.segTarget must be set.
+//
+//astore:chunkwrite
 func (t *Table) rebuildSegmentsLocked(flat map[string]Column, del *Bitmap, boundaries []int) {
 	nrows := t.nrows
 	if boundaries == nil {
@@ -522,18 +524,18 @@ func (t *Table) ColumnProto(name string) Column {
 	}
 }
 
-// insertSegmented appends a tuple to the tail segment, sealing it first on
+// insertSegmentedLocked appends a tuple to the tail segment, sealing it first on
 // overflow. Segmented tables never reuse deleted slots (free-slot reuse
 // would mutate sealed segments); holes are reclaimed by Consolidate.
 // Caller holds t.mu.
-func (t *Table) insertSegmented(vals map[string]any) (int, error) {
+func (t *Table) insertSegmentedLocked(vals map[string]any) (int, error) {
 	for _, name := range t.names {
 		if err := checkAssignable(t.tail.cols[name], vals[name]); err != nil {
 			return -1, fmt.Errorf("storage: table %s: %w", t.Name, err)
 		}
 	}
 	if t.tail.n >= t.segTarget {
-		t.sealTail()
+		t.sealTailLocked()
 	}
 	tail := t.tail
 	for _, name := range t.names {
@@ -547,7 +549,7 @@ func (t *Table) insertSegmented(vals map[string]any) (int, error) {
 	row := tail.base + tail.n - 1
 	t.nrows++
 	if tail.n >= t.segTarget {
-		t.sealTail()
+		t.sealTailLocked()
 	}
 	t.version++
 	return row, nil
@@ -574,9 +576,9 @@ func widenZone(s *Segment, name string, c Column, i int) {
 	s.zones[name] = z
 }
 
-// deleteSegmented marks global row i deleted in its segment's local bitmap.
+// deleteSegmentedLocked marks global row i deleted in its segment's local bitmap.
 // Caller holds t.mu.
-func (t *Table) deleteSegmented(i int) error {
+func (t *Table) deleteSegmentedLocked(i int) error {
 	s, local, err := t.locateLocked(i)
 	if err != nil {
 		return err
@@ -595,14 +597,14 @@ func (t *Table) deleteSegmented(i int) error {
 	return nil
 }
 
-// updateSegmented overwrites column col of global row i. Sealed chunks are
+// updateSegmentedLocked overwrites column col of global row i. Sealed chunks are
 // never written in place: the chunk is cloned (copy-on-write), replaced,
 // and the segment's epoch bumped so cached per-segment bindings rebind.
 // Tail chunks are cloned only while pinned by a snapshot. Zone maps widen
 // to cover the new value (conservative: they may overcover after updates,
 // which only costs pruning opportunity, never correctness). Caller holds
 // t.mu.
-func (t *Table) updateSegmented(i int, col string, v any) error {
+func (t *Table) updateSegmentedLocked(i int, col string, v any) error {
 	s, local, err := t.locateLocked(i)
 	if err != nil {
 		return err

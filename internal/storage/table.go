@@ -31,8 +31,8 @@ type Table struct {
 	// shared marks columns pinned by live snapshots; an in-place write to
 	// a shared column clones it first (column-granularity copy-on-write).
 	// Flat mode only; segments carry their own shared marks.
-	shared map[string]bool
-	pins   int
+	shared map[string]bool // guarded by mu
+	pins   int             // guarded by mu
 
 	// Segmented storage (segment.go): sealed immutable segments plus one
 	// mutable tail, active when segTarget > 0.

@@ -35,7 +35,7 @@ func (t *Table) Insert(vals map[string]any) (int, error) {
 		// Segmented tables only ever append to the mutable tail; deleted
 		// slots are reclaimed by Consolidate, never reused in place (slot
 		// reuse would write into sealed segments).
-		return t.insertSegmented(vals)
+		return t.insertSegmentedLocked(vals)
 	}
 
 	// Reuse a deleted slot if one is free.
@@ -49,7 +49,7 @@ func (t *Table) Insert(vals map[string]any) (int, error) {
 		}
 		t.free = t.free[:n-1]
 		for _, name := range t.names {
-			c := t.cowColumn(name)
+			c := t.cowColumnLocked(name)
 			if err := setValue(c, row, vals[name]); err != nil {
 				return -1, err
 			}
@@ -96,7 +96,7 @@ func (t *Table) Delete(i int) error {
 		return fmt.Errorf("storage: table %s: delete row %d out of range", t.Name, i)
 	}
 	if t.Segmented() {
-		return t.deleteSegmented(i)
+		return t.deleteSegmentedLocked(i)
 	}
 	if t.del == nil {
 		t.del = NewBitmap(t.nrows)
@@ -125,7 +125,7 @@ func (t *Table) Update(i int, col string, v any) error {
 		return fmt.Errorf("storage: table %s: update row %d out of range", t.Name, i)
 	}
 	if t.Segmented() {
-		return t.updateSegmented(i, col, v)
+		return t.updateSegmentedLocked(i, col, v)
 	}
 	if t.IsDeleted(i) {
 		return fmt.Errorf("storage: table %s: update of deleted row %d", t.Name, i)
@@ -137,17 +137,17 @@ func (t *Table) Update(i int, col string, v any) error {
 	if err := checkAssignable(c, v); err != nil {
 		return fmt.Errorf("storage: table %s: %w", t.Name, err)
 	}
-	if err := setValue(t.cowColumn(col), i, v); err != nil {
+	if err := setValue(t.cowColumnLocked(col), i, v); err != nil {
 		return err
 	}
 	t.version++
 	return nil
 }
 
-// cowColumn returns the named column, cloning it first if it is pinned by a
+// cowColumnLocked returns the named column, cloning it first if it is pinned by a
 // live snapshot (copy-on-write at column granularity — the simulation of the
 // paper's OS-level copy-on-write isolation between OLTP and OLAP).
-func (t *Table) cowColumn(name string) Column {
+func (t *Table) cowColumnLocked(name string) Column {
 	c := t.cols[name]
 	if t.shared != nil && t.shared[name] {
 		c = c.Clone()
@@ -168,12 +168,12 @@ func checkAssignable(c Column, v any) error {
 		case float64, float32, int, int64:
 			return nil
 		}
-		return fmt.Errorf("cannot store %T in float64 column", v)
+		return fmt.Errorf("storage: cannot store %T in float64 column", v)
 	case *StrCol, *DictCol:
 		if _, ok := v.(string); !ok {
-			return fmt.Errorf("cannot store %T in string column", v)
+			return fmt.Errorf("storage: cannot store %T in string column", v)
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown column type %T", c)
+	return fmt.Errorf("storage: unknown column type %T", c)
 }
