@@ -8,10 +8,12 @@
 //
 // Endpoints (see the README for request bodies):
 //
-//	POST /v1/query                 SQL or structured JSON query
+//	POST /v1/query                 SQL or structured JSON query (supports
+//	                               "trace": true and EXPLAIN [ANALYZE])
 //	POST /v1/tables/{table}/append live ingest
 //	GET  /healthz                  liveness
-//	GET  /v1/stats                 serving counters
+//	GET  /v1/stats                 serving counters (JSON)
+//	GET  /metrics                  Prometheus text exposition
 //
 // SIGINT/SIGTERM shut down gracefully: new requests are rejected with 503
 // while in-flight queries drain and release their snapshot pins.
@@ -54,6 +56,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 		drainWait   = flag.Duration("drain-wait", 30*time.Second, "max time to drain in-flight queries on shutdown")
+		slowQuery   = flag.Duration("slow-query", 0,
+			"log queries at or above this latency as JSON lines to stderr (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -82,6 +86,7 @@ func main() {
 		RetryAfter:     *retryAfter,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		SlowQuery:      *slowQuery,
 		Logf:           log.Printf,
 	})
 

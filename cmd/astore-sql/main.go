@@ -11,7 +11,8 @@
 //	  astore-sql -schema ssb
 //
 // Meta commands: \q quits, \stats prints the serving counters, EXPLAIN
-// prefixed to a statement prints its plan.
+// prefixed to a statement prints its plan, EXPLAIN ANALYZE executes it and
+// prints the timed span tree.
 package main
 
 import (
@@ -27,6 +28,8 @@ import (
 	"astore"
 	"astore/internal/datagen/ssb"
 	"astore/internal/datagen/tpch"
+	"astore/internal/obs"
+	"astore/internal/sql"
 )
 
 func main() {
@@ -58,7 +61,7 @@ func main() {
 	if interactive {
 		fmt.Printf("A-Store SQL shell — %s SF=%g, fact table(s) %v\n",
 			*schemaName, *sf, db.Facts())
-		fmt.Println(`end statements with a blank line; prefix with EXPLAIN for the plan; \stats for counters; \q quits`)
+		fmt.Println(`end statements with a blank line; prefix with EXPLAIN for the plan or EXPLAIN ANALYZE for a timed trace; \stats for counters; \q quits`)
 	}
 
 	in := bufio.NewScanner(os.Stdin)
@@ -78,17 +81,14 @@ func main() {
 		if text == "" {
 			return
 		}
-		explain := false
-		if lower := strings.ToLower(text); strings.HasPrefix(lower, "explain ") {
-			explain = true
-			text = text[len("explain "):]
-		}
+		mode, rest := sql.StripExplain(text)
+		text = rest
 		p, err := db.PrepareSQL(text)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return
 		}
-		if explain {
+		if mode == sql.ExplainPlan {
 			out, err := db.Engine(p.Fact()).Explain(p.Query())
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -100,11 +100,23 @@ func main() {
 		// Ctrl-C cancels this statement at the next scan batch; the shell
 		// itself stays up.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		var tr *obs.Trace
+		if mode == sql.ExplainAnalyze {
+			tr = obs.NewTrace()
+			ctx = obs.WithTrace(ctx, tr)
+		}
 		t0 := time.Now()
 		res, err := p.Exec(ctx)
 		stop()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		if tr != nil {
+			// EXPLAIN ANALYZE: the timed span tree instead of the rows.
+			tr.Finish()
+			fmt.Printf("routed to fact table %q\n%s", p.Fact(), tr.Format())
+			fmt.Printf("(%d rows, %v)\n", len(res.Rows), time.Since(t0).Round(time.Microsecond))
 			return
 		}
 		fmt.Print(res.Format())

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"astore/internal/core"
+	"astore/internal/datagen/ssb"
+	"astore/internal/db"
+	"astore/internal/obs"
+)
+
+// The "trace" experiment measures the cost of the observability layer on
+// the query hot path: prepared Q2.3 executed in a tight loop with tracing
+// disabled (no trace on the context — the production default) and enabled
+// (a fresh per-query trace, as "trace": true requests create). The
+// disabled column is the one that matters: stage accounting must stay
+// within noise of the pre-observability engine.
+
+func init() {
+	register(Experiment{
+		ID:    "trace",
+		Title: "Tracing overhead on prepared Q2.3 (disabled vs per-query trace)",
+		Run:   runTraceOverhead,
+	})
+}
+
+func runTraceOverhead(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	data := ssb.Generate(ssb.Config{SF: cfg.SF, Seed: cfg.Seed})
+	target := segTargetFor(data.Lineorder.NumRows())
+	d, err := db.Open(data.DB, core.Options{Workers: cfg.Workers, SegmentRows: target})
+	if err != nil {
+		return nil, err
+	}
+	p, err := d.Prepare(ssb.Q2_3())
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if _, err := p.Exec(ctx); err != nil { // warm the plan cache
+		return nil, err
+	}
+
+	const iters = 200
+	measure := func(traced bool) (float64, error) {
+		var total int64
+		for i := 0; i < iters; i++ {
+			runCtx := ctx
+			if traced {
+				runCtx = obs.WithTrace(ctx, obs.NewTrace())
+			}
+			t0 := time.Now()
+			if _, err := p.Exec(runCtx); err != nil {
+				return 0, err
+			}
+			total += time.Since(t0).Nanoseconds()
+		}
+		return float64(total) / iters / 1e3, nil
+	}
+
+	// Best-of-runs for each mode, interleaved never: disabled fully first
+	// keeps the comparison honest about cache warmth (both run hot).
+	bestUS := func(traced bool) (float64, error) {
+		best := 0.0
+		for r := 0; r < cfg.Runs; r++ {
+			us, err := measure(traced)
+			if err != nil {
+				return 0, err
+			}
+			if best == 0 || us < best {
+				best = us
+			}
+		}
+		return best, nil
+	}
+	offUS, err := bestUS(false)
+	if err != nil {
+		return nil, err
+	}
+	onUS, err := bestUS(true)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID:      "trace-overhead",
+		Title:   fmt.Sprintf("prepared Q2.3, %d execs per measurement (SF %g)", iters, cfg.SF),
+		Headers: []string{"tracing", "avg exec (us)", "overhead (%)"},
+		Rows: [][]string{
+			{"disabled", fmt.Sprintf("%.1f", offUS), "0.0"},
+			{"per-query trace", fmt.Sprintf("%.1f", onUS),
+				fmt.Sprintf("%+.1f", (onUS-offUS)/offUS*100)},
+		},
+		Notes: []string{
+			"disabled = no trace on the context (production default); the acceptance bound is <5% there",
+		},
+	}
+	return []*Report{rep}, nil
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"astore/internal/agg"
 	"astore/internal/expr"
+	"astore/internal/obs"
 	"astore/internal/query"
 	"astore/internal/schema"
 	"astore/internal/storage"
@@ -118,6 +120,14 @@ func (e *Engine) exec(ctx context.Context, pl *plan, segs []storage.SegView, sta
 		segs = pl.planSegs
 	}
 
+	tr := obs.TraceFrom(ctx)
+	var execSpan obs.SpanID
+	var execT0 time.Time
+	if tr != nil {
+		execT0 = time.Now()
+		execSpan = tr.Start(tr.Root(), obs.StageExecute)
+	}
+
 	var res *query.Result
 	var err error
 	if pl.variant.rowWise() {
@@ -128,10 +138,36 @@ func (e *Engine) exec(ctx context.Context, pl *plan, segs []storage.SegView, sta
 	if err != nil {
 		return nil, err
 	}
+	if tr != nil {
+		recordExecSpans(tr, execSpan, execT0, &rs.stats)
+		tr.End(execSpan)
+	}
 	if stats != nil {
 		*stats = rs.stats
 	}
 	return res, nil
+}
+
+// recordExecSpans attaches the execution stages to the trace from the
+// durations the run already accumulated, laid out back to back from the
+// execution's start. The scan and merge durations are the per-phase
+// attribution Stats reports (summed across workers, divided by worker
+// count), so the stage sum tracks the execution's wall time rather than
+// CPU time.
+func recordExecSpans(tr *obs.Trace, parent obs.SpanID, t0 time.Time, st *Stats) {
+	cursor := t0
+	add := func(name string, durNS int64) obs.SpanID {
+		id := tr.Add(parent, name, cursor, time.Duration(durNS))
+		cursor = cursor.Add(time.Duration(durNS))
+		return id
+	}
+	prune := add(obs.StagePrune, st.PruneNS)
+	tr.SetSegments(prune, st.SegmentsTotal, st.SegmentsPruned)
+	add(obs.StageBind, st.BindNS)
+	scan := add(obs.StageScan, st.ScanNS)
+	tr.SetRows(scan, st.RowsScanned, st.RowsSelected)
+	merge := add(obs.StageMerge, st.AggNS)
+	tr.SetRows(merge, st.RowsSelected, int64(st.Groups))
 }
 
 // TableVersions are one table's structural and data mutation counters as

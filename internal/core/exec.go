@@ -102,6 +102,8 @@ func (pl *plan) newPartial() (*partial, error) {
 // predicate, before any row work (including the row-wise variants). The
 // surviving segments are bound (cached bindings for sealed segments).
 func (pl *plan) admitSegments(segs []storage.SegView, rs *runState) ([]execSeg, error) {
+	admitT0 := time.Now()
+	var bindNS int64
 	kept := make([]execSeg, 0, len(segs))
 	rs.stats.SegmentsTotal += len(segs)
 	for i := range segs {
@@ -121,13 +123,19 @@ func (pl *plan) admitSegments(segs []storage.SegView, rs *runState) ([]execSeg, 
 			rs.stats.SegmentsPruned++
 			continue
 		}
+		bindT0 := time.Now()
 		st, err := pl.segStateFor(sv)
+		bindNS += time.Since(bindT0).Nanoseconds()
 		if err != nil {
 			return nil, err
 		}
 		kept = append(kept, execSeg{sv: sv, st: st})
 	}
 	pl.pruneSegCache(segs)
+	rs.stats.BindNS += bindNS
+	if prune := time.Since(admitT0).Nanoseconds() - bindNS; prune > 0 {
+		rs.stats.PruneNS += prune
+	}
 	return kept, nil
 }
 

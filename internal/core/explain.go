@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"astore/internal/expr"
+	"astore/internal/obs"
 	"astore/internal/query"
 )
 
@@ -22,6 +23,11 @@ func (e *Engine) Explain(q *query.Query) (string, error) {
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "plan %s (variant %s, workers %d)\n", q.Name, pl.variant, pl.opt.Workers)
+	// The stage list matches the span names a traced execution records
+	// (EXPLAIN ANALYZE in the shell, "trace": true over HTTP), so the
+	// plan-only and timed renderings name the same stages.
+	fmt.Fprintf(&sb, "stages: %s (timings via EXPLAIN ANALYZE or \"trace\": true)\n",
+		strings.Join(obs.StageNames(), " -> "))
 	if pl.segmented {
 		sealed := 0
 		for i := range pl.planSegs {

@@ -143,6 +143,12 @@ type Stats struct {
 	// AggNS is time spent scanning measure columns and aggregating,
 	// including result extraction.
 	AggNS int64
+	// PruneNS is time spent in segment admission deciding, from zone maps,
+	// which segments can be skipped (excludes binding time).
+	PruneNS int64
+	// BindNS is time spent binding the plan's recipes to admitted
+	// segments' column arrays (cached for sealed segments).
+	BindNS int64
 
 	// RowsScanned is the number of root rows considered.
 	RowsScanned int64

@@ -36,6 +36,7 @@ import (
 
 	"astore/internal/core"
 	"astore/internal/expr"
+	"astore/internal/obs"
 	"astore/internal/query"
 	"astore/internal/sql"
 	"astore/internal/storage"
@@ -88,6 +89,11 @@ type Stats struct {
 	// SegmentsPruned counts root segments skipped by zone-map pruning
 	// across executions (before any row work).
 	SegmentsPruned int64
+	// RowsScanned counts root rows considered across executions.
+	RowsScanned int64
+	// RowsSelected counts root rows surviving all predicates across
+	// executions.
+	RowsSelected int64
 }
 
 // Open builds a DB over the catalog: every fact table (a table referenced
@@ -244,8 +250,9 @@ func (d *DB) routeFact(fact string) (string, error) {
 
 // compiled returns a plan for (fact, sig) that is fresh in view: a cache
 // hit when versions match, otherwise a fresh compilation that replaces the
-// cached entry. The caller must hold the view for the whole execution.
-func (d *DB) compiled(fact, sig string, q *query.Query, view *core.View) (*core.Compiled, error) {
+// cached entry. The caller must hold the view for the whole execution. The
+// second result reports whether the plan came from the cache unchanged.
+func (d *DB) compiled(fact, sig string, q *query.Query, view *core.View) (*core.Compiled, bool, error) {
 	key := cacheKey{fact: fact, sig: sig}
 
 	d.mu.Lock()
@@ -255,7 +262,7 @@ func (d *DB) compiled(fact, sig string, q *query.Query, view *core.View) (*core.
 			d.lru.MoveToFront(el)
 			d.stats.PlanHits++
 			d.mu.Unlock()
-			return entry.c, nil
+			return entry.c, true, nil
 		}
 		// Stale: drop it; the recompilation below replaces it.
 		d.lru.Remove(el)
@@ -272,7 +279,7 @@ func (d *DB) compiled(fact, sig string, q *query.Query, view *core.View) (*core.
 	// valid for their views.
 	c, err := view.Compile(q)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	d.mu.Lock()
@@ -285,7 +292,7 @@ func (d *DB) compiled(fact, sig string, q *query.Query, view *core.View) (*core.
 		d.evictOldestLocked()
 	}
 	d.mu.Unlock()
-	return c, nil
+	return c, false, nil
 }
 
 func (d *DB) evictOldestLocked() {
@@ -361,7 +368,7 @@ func (d *DB) prepareOn(fact string, q *query.Query) (*Prepared, error) {
 		return nil, err
 	}
 	defer view.Release()
-	if _, err := d.compiled(p.fact, p.sig, p.q, view); err != nil {
+	if _, _, err := d.compiled(p.fact, p.sig, p.q, view); err != nil {
 		return nil, err
 	}
 	d.mu.Lock()
@@ -391,12 +398,28 @@ func (d *DB) RunStats(ctx context.Context, q *query.Query, stats *core.Stats) (*
 		return nil, err
 	}
 	eng := d.facts[fact]
+	tr := obs.TraceFrom(ctx)
+	var sp obs.SpanID
+	if tr != nil {
+		sp = tr.Start(tr.Root(), obs.StagePin)
+	}
 	view, err := eng.Acquire()
+	if tr != nil {
+		tr.End(sp)
+	}
 	if err != nil {
 		return nil, err
 	}
 	defer view.Release()
+	if tr != nil {
+		sp = tr.Start(tr.Root(), obs.StagePlanCache)
+	}
 	c, err := view.Compile(q)
+	if tr != nil {
+		// Run bypasses the plan cache by design; a cold compile is a miss.
+		tr.SetHit(sp, false)
+		tr.End(sp)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -418,6 +441,8 @@ func (d *DB) execCounted(ctx context.Context, eng *core.Engine, view *core.View,
 		d.mu.Lock()
 		d.stats.SegmentsTotal += int64(stats.SegmentsTotal)
 		d.stats.SegmentsPruned += int64(stats.SegmentsPruned)
+		d.stats.RowsScanned += stats.RowsScanned
+		d.stats.RowsSelected += stats.RowsSelected
 		d.mu.Unlock()
 	}
 	return res, err
@@ -467,12 +492,27 @@ func (p *Prepared) ExecStats(ctx context.Context, stats *core.Stats) (*query.Res
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := obs.TraceFrom(ctx)
+	var sp obs.SpanID
+	if tr != nil {
+		sp = tr.Start(tr.Root(), obs.StagePin)
+	}
 	view, err := p.eng.Acquire()
+	if tr != nil {
+		tr.End(sp)
+	}
 	if err != nil {
 		return nil, err
 	}
 	defer view.Release()
-	c, err := p.db.compiled(p.fact, p.sig, p.q, view)
+	if tr != nil {
+		sp = tr.Start(tr.Root(), obs.StagePlanCache)
+	}
+	c, hit, err := p.db.compiled(p.fact, p.sig, p.q, view)
+	if tr != nil {
+		tr.SetHit(sp, hit)
+		tr.End(sp)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+var ridCounter atomic.Uint64
+
+// NewRequestID returns a 16-hex-char request ID. IDs are generated at
+// admission, attached to the request context, and echoed in the
+// X-Astore-Request-Id response header so a slow-query log line can be
+// joined back to the client that saw the latency.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// rand.Read failing is effectively impossible; fall back to a
+		// process-local counter rather than returning an error nobody
+		// can act on.
+		n := ridCounter.Add(1)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type ridCtxKey struct{}
+
+// WithRequestID attaches a request ID to ctx.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridCtxKey{}, id)
+}
+
+// RequestIDFrom returns the request ID attached to ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridCtxKey{}).(string)
+	return id
+}

@@ -77,6 +77,8 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		inserted = append(inserted, idx)
 	}
+	s.met.rowsAppended.Add(int64(len(inserted)))
+	s.met.appendBatches.Inc()
 	dv := t.DataVersion()
 	writeJSON(w, appendResponse{
 		Table: t.Name, Rows: inserted, Count: len(inserted),

@@ -3,21 +3,34 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"astore/internal/obs"
 )
 
 // endpointMetrics are cumulative per-endpoint serving counters, updated
-// lock-free on every request by the instrumentation wrapper.
+// lock-free on every request by the instrumentation wrapper. lat is the
+// endpoint's latency histogram in the shared registry (set once at mount
+// time, before any request), so /v1/stats quantiles and /metrics buckets
+// come from the same observations.
 type endpointMetrics struct {
 	count   atomic.Int64 // requests served (including errors)
 	errors  atomic.Int64 // responses with status >= 400
 	totalNS atomic.Int64 // summed wall time
 	maxNS   atomic.Int64 // slowest request
+	lat     *obs.Histogram
+	errsC   *obs.Counter
 }
 
 func (m *endpointMetrics) observe(d time.Duration, failed bool) {
 	m.count.Add(1)
 	if failed {
 		m.errors.Add(1)
+		if m.errsC != nil {
+			m.errsC.Inc()
+		}
+	}
+	if m.lat != nil {
+		m.lat.Observe(d.Seconds())
 	}
 	ns := d.Nanoseconds()
 	m.totalNS.Add(ns)
@@ -29,12 +42,17 @@ func (m *endpointMetrics) observe(d time.Duration, failed bool) {
 	}
 }
 
-// EndpointStats is the JSON rendering of one endpoint's counters.
+// EndpointStats is the JSON rendering of one endpoint's counters. The
+// quantiles are estimated from the endpoint's log-bucketed latency
+// histogram (the same one /metrics exposes).
 type EndpointStats struct {
 	Count  int64   `json:"count"`
 	Errors int64   `json:"errors"`
 	AvgUS  float64 `json:"avg_us"`
 	MaxUS  float64 `json:"max_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
 }
 
 func (m *endpointMetrics) snapshot() EndpointStats {
@@ -45,6 +63,11 @@ func (m *endpointMetrics) snapshot() EndpointStats {
 	}
 	if s.Count > 0 {
 		s.AvgUS = float64(m.totalNS.Load()) / float64(s.Count) / 1e3
+	}
+	if m.lat != nil && m.lat.Count() > 0 {
+		s.P50US = m.lat.Quantile(0.50) * 1e6
+		s.P95US = m.lat.Quantile(0.95) * 1e6
+		s.P99US = m.lat.Quantile(0.99) * 1e6
 	}
 	return s
 }
@@ -68,18 +91,41 @@ type DBStats struct {
 	PlanMisses    int64 `json:"plan_misses"`
 	PlanStale     int64 `json:"plan_stale"`
 	PlanEvictions int64 `json:"plan_evictions"`
-	// SegmentsTotal and SegmentsPruned report zone-map pruning across all
-	// executions: segments considered vs. segments skipped before any row
-	// work.
+	// SegmentsTotal and SegmentsPruned report the segment-admission summary
+	// across all executions — the same decision Explain renders per plan:
+	// segments considered vs. segments skipped before any row work.
 	SegmentsTotal  int64 `json:"segments_total"`
 	SegmentsPruned int64 `json:"segments_pruned"`
+	// RowsScanned and RowsSelected report root rows considered vs. rows
+	// surviving all predicates across executions.
+	RowsScanned  int64 `json:"rows_scanned"`
+	RowsSelected int64 `json:"rows_selected"`
+}
+
+// TableStats is the per-table block of /v1/stats: the row count and
+// version counters of one table as observed by a transient snapshot.
+type TableStats struct {
+	Rows int64 `json:"rows"`
+	// DataVersion counts row mutations (appends, updates, deletes); plan
+	// freshness checks compare against it.
+	DataVersion uint64 `json:"data_version"`
+	// SchemaVersion counts structural mutations (columns, FKs,
+	// re-segmentation).
+	SchemaVersion uint64 `json:"schema_version"`
+	// Segments is the total segment count (sealed + tail) for segmented
+	// tables, 1 for flat tables.
+	Segments int `json:"segments"`
+	Sealed   int `json:"sealed"`
 }
 
 // Stats is the GET /v1/stats response body.
 type Stats struct {
-	UptimeMS  int64                    `json:"uptime_ms"`
-	Panics    int64                    `json:"panics"`
-	DB        DBStats                  `json:"db"`
-	Admission AdmissionStats           `json:"admission"`
-	Endpoints map[string]EndpointStats `json:"endpoints"`
+	UptimeMS      int64                    `json:"uptime_ms"`
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Panics        int64                    `json:"panics"`
+	SlowQueries   int64                    `json:"slow_queries"`
+	DB            DBStats                  `json:"db"`
+	Admission     AdmissionStats           `json:"admission"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	Tables        map[string]TableStats    `json:"tables"`
 }

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"astore/internal/obs"
+)
+
+// serverMetrics are the push-side instruments of the server's registry.
+// Counters another layer already maintains (plan cache, admission,
+// per-table versions) are registered as collect-time funcs instead, so the
+// scrape reads them from the source of truth without double accounting.
+type serverMetrics struct {
+	reqDur    *obs.HistogramVec // astore_http_request_duration_seconds{endpoint}
+	reqErrors *obs.CounterVec   // astore_http_request_errors_total{endpoint}
+	queueWait *obs.Histogram    // astore_query_queue_wait_seconds
+
+	slowQueries   *obs.Counter // astore_slow_queries_total
+	rowsAppended  *obs.Counter // astore_rows_appended_total
+	appendBatches *obs.Counter // astore_append_batches_total
+}
+
+// initMetrics builds the server's metric registry. Called once from New,
+// before any handler is mounted.
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+
+	r.GaugeFunc("astore_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	buckets := obs.DefaultLatencyBuckets()
+	s.met.reqDur = r.HistogramVec("astore_http_request_duration_seconds",
+		"Wall time of HTTP requests by endpoint.", "endpoint", buckets)
+	s.met.reqErrors = r.CounterVec("astore_http_request_errors_total",
+		"HTTP responses with status >= 400 by endpoint.", "endpoint")
+	s.met.queueWait = r.Histogram("astore_query_queue_wait_seconds",
+		"Time queries spent waiting for an admission slot.", buckets)
+	s.met.slowQueries = r.Counter("astore_slow_queries_total",
+		"Queries at or above the slow-query threshold.")
+	s.met.rowsAppended = r.Counter("astore_rows_appended_total",
+		"Rows appended through POST /v1/tables/{table}/append.")
+	s.met.appendBatches = r.Counter("astore_append_batches_total",
+		"Append request bodies fully applied.")
+
+	// Plan-cache and execution counters, read from the DB at scrape time.
+	dbCounter := func(name, help string, get func() int64) {
+		r.CounterFunc(name, help, func() float64 { return float64(get()) })
+	}
+	dbCounter("astore_plan_cache_hits_total", "Executions that reused a cached plan unchanged.",
+		func() int64 { return s.db.Stats().PlanHits })
+	dbCounter("astore_plan_cache_misses_total", "Compilations because no cached plan existed.",
+		func() int64 { return s.db.Stats().PlanMisses })
+	dbCounter("astore_plan_cache_stale_total", "Recompilations because table versions moved under a cached plan.",
+		func() int64 { return s.db.Stats().PlanStale })
+	dbCounter("astore_plan_cache_evictions_total", "Cached plans dropped by the LRU capacity bound.",
+		func() int64 { return s.db.Stats().PlanEvictions })
+	dbCounter("astore_segments_considered_total", "Root segments considered by segment admission.",
+		func() int64 { return s.db.Stats().SegmentsTotal })
+	dbCounter("astore_segments_pruned_total", "Root segments skipped by zone-map pruning.",
+		func() int64 { return s.db.Stats().SegmentsPruned })
+	dbCounter("astore_rows_scanned_total", "Root rows considered across executions.",
+		func() int64 { return s.db.Stats().RowsScanned })
+	dbCounter("astore_rows_selected_total", "Root rows surviving all predicates across executions.",
+		func() int64 { return s.db.Stats().RowsSelected })
+
+	// Admission controller state and totals.
+	r.GaugeFunc("astore_admission_in_flight", "Queries currently executing.",
+		func() float64 { return float64(s.adm.inFlight()) })
+	r.GaugeFunc("astore_admission_waiting", "Queries currently queued for a slot.",
+		func() float64 { return float64(s.adm.waiting()) })
+	dbCounter("astore_admission_admitted_total", "Queries admitted to execute.",
+		func() int64 { return s.adm.admitted.Load() })
+	dbCounter("astore_admission_queued_total", "Queries admitted after waiting in the queue.",
+		func() int64 { return s.adm.queued.Load() })
+	dbCounter("astore_admission_rejected_total", "Queries rejected by admission control.",
+		func() int64 { return s.adm.rejected.Load() })
+	dbCounter("astore_panics_total", "Handler panics recovered to 500s.",
+		func() int64 { return s.panics.Load() })
+
+	// Per-table gauges, sampled at scrape time from locked accessors /
+	// transient snapshots so a scrape never races writers.
+	r.GaugeFuncVec("astore_table_rows", "Rows per table (including deleted).", "table",
+		func() []obs.LabeledSample {
+			var out []obs.LabeledSample
+			for _, t := range s.db.Catalog().Tables() {
+				snap := t.Snapshot()
+				n := snap.NumRows()
+				snap.Release()
+				out = append(out, obs.LabeledSample{Label: t.Name, Value: float64(n)})
+			}
+			return out
+		})
+	r.GaugeFuncVec("astore_table_data_version", "Data mutation counter per table.", "table",
+		func() []obs.LabeledSample {
+			var out []obs.LabeledSample
+			for _, t := range s.db.Catalog().Tables() {
+				out = append(out, obs.LabeledSample{Label: t.Name, Value: float64(t.DataVersion())})
+			}
+			return out
+		})
+}
+
+// Registry exposes the server's metric registry (tests and embedders may
+// register their own instruments on it before serving).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// handleMetrics serves GET /metrics in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}
+
+// tableStats samples every table's row count and version counters for
+// /v1/stats. Row counts come from a transient snapshot and versions from
+// locked accessors, so sampling is safe against concurrent writers.
+func (s *Server) tableStats() map[string]TableStats {
+	out := make(map[string]TableStats)
+	for _, t := range s.db.Catalog().Tables() {
+		snap := t.Snapshot()
+		rows := snap.NumRows()
+		snap.Release()
+		sealed, total := t.SegmentCounts()
+		out[t.Name] = TableStats{
+			Rows:          int64(rows),
+			DataVersion:   t.DataVersion(),
+			SchemaVersion: t.SchemaVersion(),
+			Segments:      total,
+			Sealed:        sealed,
+		}
+	}
+	return out
+}

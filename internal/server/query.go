@@ -10,8 +10,10 @@ import (
 	"strings"
 	"time"
 
+	"astore/internal/core"
 	"astore/internal/db"
 	"astore/internal/expr"
+	"astore/internal/obs"
 	"astore/internal/query"
 	"astore/internal/sql"
 )
@@ -23,13 +25,16 @@ const statusClientClosed = 499
 
 // queryRequest is the POST /v1/query body: exactly one of SQL or Query.
 type queryRequest struct {
-	// SQL is a SPJGA SELECT statement.
+	// SQL is a SPJGA SELECT statement, optionally prefixed with EXPLAIN
+	// (plan only) or EXPLAIN ANALYZE (execute traced).
 	SQL string `json:"sql"`
 	// Query is the structured form of the same query family.
 	Query *jsonQuery `json:"query"`
 	// TimeoutMS overrides the server's default per-query deadline, capped
 	// at the server's maximum.
 	TimeoutMS int64 `json:"timeout_ms"`
+	// Trace attaches the span tree of the execution to the response.
+	Trace bool `json:"trace"`
 }
 
 // jsonQuery is a structured SPJGA query.
@@ -84,6 +89,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `body must carry exactly one of "sql" or "query"`)
 		return
 	}
+	if req.SQL != "" {
+		// The HTTP endpoint accepts the same EXPLAIN prefixes as the shell.
+		switch mode, rest := sql.StripExplain(req.SQL); mode {
+		case sql.ExplainPlan:
+			s.handleExplain(w, rest)
+			return
+		case sql.ExplainAnalyze:
+			req.SQL = rest
+			req.Trace = true
+		}
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -102,13 +118,83 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+
 	t0 := time.Now()
-	res, fact, err := s.runQuery(ctx, &req)
+	res, meta, err := s.runQuery(ctx, &req)
+	elapsed := time.Since(t0)
+	if tr != nil {
+		tr.Finish()
+	}
+	s.logSlowQuery(obs.RequestIDFrom(ctx), &req, &meta, res, elapsed, err)
 	if err != nil {
 		s.writeQueryError(w, timeout, err)
 		return
 	}
-	s.streamResult(w, fact, res, time.Since(t0))
+	s.streamResult(w, meta.fact, res, elapsed, tr)
+}
+
+// queryMeta describes one executed query for the slow-query log.
+type queryMeta struct {
+	fact    string
+	text    string // SQL text or the structured query's name
+	planHit bool
+	stats   core.Stats
+}
+
+// logSlowQuery emits at most one slow-query log line per request (success
+// or failure) and bumps the slow-query counter.
+func (s *Server) logSlowQuery(rid string, req *queryRequest, meta *queryMeta, res *query.Result, elapsed time.Duration, err error) {
+	if !s.slow.Enabled() {
+		return
+	}
+	e := obs.SlowEntry{
+		RequestID:      rid,
+		Fact:           meta.fact,
+		Query:          meta.text,
+		PlanHit:        meta.planHit,
+		RowsScanned:    meta.stats.RowsScanned,
+		RowsSelected:   meta.stats.RowsSelected,
+		SegmentsTotal:  meta.stats.SegmentsTotal,
+		SegmentsPruned: meta.stats.SegmentsPruned,
+		StagesUS: map[string]float64{
+			obs.StagePrune: float64(meta.stats.PruneNS) / 1e3,
+			obs.StageBind:  float64(meta.stats.BindNS) / 1e3,
+			obs.StageScan:  float64(meta.stats.ScanNS) / 1e3,
+			obs.StageMerge: float64(meta.stats.AggNS) / 1e3,
+		},
+	}
+	if res != nil {
+		e.Rows = len(res.Rows)
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	if s.slow.Observe(elapsed, e) {
+		s.met.slowQueries.Inc()
+	}
+}
+
+// handleExplain serves EXPLAIN <select>: render the plan, execute nothing.
+func (s *Server) handleExplain(w http.ResponseWriter, text string) {
+	p, err := s.db.PrepareSQL(text)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	plan, err := s.db.Engine(p.Fact()).Explain(p.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, struct {
+		Fact    string `json:"fact"`
+		Explain string `json:"explain"`
+	}{Fact: p.Fact(), Explain: plan})
 }
 
 // errQueuedTimeout marks a request whose deadline expired while it waited
@@ -126,33 +212,62 @@ func (b badRequest) Error() string { return b.err.Error() }
 // predicate vectors over large dimensions — but not response streaming: the
 // slot is released as soon as the result is materialized, so a slow-reading
 // client cannot pin a slot.
-func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*query.Result, string, error) {
-	if err := s.adm.acquire(ctx); err != nil {
+func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*query.Result, queryMeta, error) {
+	var meta queryMeta
+	if req.SQL != "" {
+		meta.text = req.SQL
+	} else if req.Query != nil {
+		meta.text = "structured:" + req.Query.Name
+	}
+
+	qt0 := time.Now()
+	err := s.adm.acquire(ctx)
+	s.met.queueWait.Observe(time.Since(qt0).Seconds())
+	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			return nil, "", errQueuedTimeout
+			return nil, meta, errQueuedTimeout
 		}
-		return nil, "", err // errOverloaded, or canceled by disconnect
+		return nil, meta, err // errOverloaded, or canceled by disconnect
 	}
 	defer s.adm.release()
 	if s.testHookAdmitted != nil {
 		s.testHookAdmitted()
 	}
 
+	// The parse stage covers SQL parsing, routing, and the prepare-time
+	// compile; db.Prepared.ExecStats records the pin and plan-cache spans.
+	tr := obs.TraceFrom(ctx)
+	var parseSpan obs.SpanID
+	if tr != nil {
+		parseSpan = tr.Start(tr.Root(), obs.StageParse)
+	}
 	var p *db.Prepared
-	var err error
 	if req.SQL != "" {
 		p, err = s.db.PrepareSQL(req.SQL)
 	} else {
 		p, err = s.prepareStructured(req.Query)
 	}
-	if err != nil {
-		return nil, "", badRequest{err}
+	if tr != nil {
+		tr.End(parseSpan)
 	}
-	res, err := p.Exec(ctx)
 	if err != nil {
-		return nil, "", err
+		return nil, meta, badRequest{err}
 	}
-	return res, p.Fact(), nil
+	meta.fact = p.Fact()
+	// Plan-hit attribution for the slow log: a cumulative-counter delta,
+	// exact when queries do not overlap and advisory otherwise.
+	var hitsBefore int64
+	if s.slow.Enabled() {
+		hitsBefore = s.db.Stats().PlanHits
+	}
+	res, err := p.ExecStats(ctx, &meta.stats)
+	if s.slow.Enabled() {
+		meta.planHit = s.db.Stats().PlanHits > hitsBefore
+	}
+	if err != nil {
+		return nil, meta, err
+	}
+	return res, meta, nil
 }
 
 // writeQueryError maps a runQuery error to its response: overload to 503
@@ -181,8 +296,11 @@ func (s *Server) writeQueryError(w http.ResponseWriter, timeout time.Duration, e
 // instead of buffering server-side:
 //
 //	{"fact":"lineorder","columns":[...],"rows":[[...],...],
-//	 "row_count":N,"elapsed_us":E}
-func (s *Server) streamResult(w http.ResponseWriter, fact string, res *query.Result, elapsed time.Duration) {
+//	 "trace":{...},"row_count":N,"elapsed_us":E}
+//
+// The trace object (present only for traced requests) is the span tree of
+// this execution.
+func (s *Server) streamResult(w http.ResponseWriter, fact string, res *query.Result, elapsed time.Duration, tr *obs.Trace) {
 	w.Header().Set("Content-Type", "application/json")
 	flusher, _ := w.(http.Flusher)
 
@@ -213,7 +331,17 @@ func (s *Server) streamResult(w http.ResponseWriter, fact string, res *query.Res
 			flusher.Flush()
 		}
 	}
-	fmt.Fprintf(w, `],"row_count":%d,"elapsed_us":%d}`+"\n", len(res.Rows), elapsed.Microseconds())
+	if _, err := w.Write([]byte{']'}); err != nil {
+		return
+	}
+	if tr != nil {
+		if tb, err := json.Marshal(tr.Tree()); err == nil {
+			if _, err := fmt.Fprintf(w, `,"trace":%s`, tb); err != nil {
+				return
+			}
+		}
+	}
+	fmt.Fprintf(w, `,"row_count":%d,"elapsed_us":%d}`+"\n", len(res.Rows), elapsed.Microseconds())
 }
 
 // prepareStructured converts the JSON query into a query.Query and prepares

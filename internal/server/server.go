@@ -9,7 +9,10 @@
 //	POST /v1/tables/{table}/append live ingest: append rows to a table while
 //	                               readers stay snapshot-isolated
 //	GET  /healthz                  liveness (503 while draining)
-//	GET  /v1/stats                 plan-cache + admission + per-endpoint counters
+//	GET  /v1/stats                 plan-cache + admission + per-endpoint +
+//	                               per-table counters (JSON)
+//	GET  /metrics                  the same signals as Prometheus text
+//	                               exposition (histograms, counters, gauges)
 //
 // The server admits at most MaxInFlight concurrent queries; up to MaxQueue
 // more wait QueueWait for a slot and everything beyond is rejected with
@@ -24,14 +27,17 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"os"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"astore/internal/db"
+	"astore/internal/obs"
 )
 
 // Config tunes the server. The zero value serves with sensible defaults.
@@ -58,6 +64,12 @@ type Config struct {
 	// FlushRows is the number of result rows streamed between flushes.
 	// Default 1024.
 	FlushRows int
+	// SlowQuery, when > 0, logs every query at or above this latency as one
+	// JSON line to SlowQueryWriter. Default 0 (disabled).
+	SlowQuery time.Duration
+	// SlowQueryWriter receives slow-query JSON lines. Default os.Stderr
+	// when SlowQuery is set.
+	SlowQueryWriter io.Writer
 	// Logf, when non-nil, receives one line per serving incident (panics,
 	// shutdown); it is never called on the per-request fast path.
 	Logf func(format string, args ...any)
@@ -90,6 +102,9 @@ func (c Config) withDefaults() Config {
 	if c.FlushRows < 1 {
 		c.FlushRows = 1024
 	}
+	if c.SlowQuery > 0 && c.SlowQueryWriter == nil {
+		c.SlowQueryWriter = os.Stderr
+	}
 	return c
 }
 
@@ -101,6 +116,10 @@ type Server struct {
 	adm   *admission
 	mux   *http.ServeMux
 	start time.Time
+
+	reg  *obs.Registry
+	met  serverMetrics
+	slow *obs.SlowLog
 
 	endpoints map[string]*endpointMetrics
 	panics    atomic.Int64
@@ -134,10 +153,13 @@ func New(d *db.DB, cfg Config) *Server {
 		endpoints: make(map[string]*endpointMetrics),
 	}
 	s.drainCond = sync.NewCond(&s.drainMu)
+	s.initMetrics()
+	s.slow = obs.NewSlowLog(cfg.SlowQueryWriter, cfg.SlowQuery)
 	s.handle("POST /v1/query", "query", s.handleQuery)
 	s.handle("POST /v1/tables/{table}/append", "append", s.handleAppend)
 	s.handle("GET /healthz", "healthz", s.handleHealthz)
 	s.handle("GET /v1/stats", "stats", s.handleStats)
+	s.handle("GET /metrics", "metrics", s.handleMetrics)
 	return s
 }
 
@@ -241,11 +263,16 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// endpoint returns (registering on first use) the named endpoint's counters.
+// endpoint returns (registering on first use) the named endpoint's
+// counters, bound to the registry's per-endpoint latency histogram and
+// error counter.
 func (s *Server) endpoint(name string) *endpointMetrics {
 	m, ok := s.endpoints[name]
 	if !ok {
-		m = &endpointMetrics{}
+		m = &endpointMetrics{
+			lat:   s.met.reqDur.With(name),
+			errsC: s.met.reqErrors.With(name),
+		}
 		s.endpoints[name] = m
 	}
 	return m
@@ -279,6 +306,12 @@ func (s *Server) handle(pattern, name string, fn http.HandlerFunc) {
 			}
 			defer s.leave()
 		}
+		// Every request gets an ID at admission, echoed in the response
+		// header and propagated on the context so the slow-query log can
+		// be joined back to the client that saw the latency.
+		rid := obs.NewRequestID()
+		sw.Header().Set("X-Astore-Request-Id", rid)
+		r = r.WithContext(obs.WithRequestID(r.Context(), rid))
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		fn(sw, r)
 	})
@@ -375,9 +408,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // StatsSnapshot gathers the stats the /v1/stats endpoint serves.
 func (s *Server) StatsSnapshot() Stats {
 	dbStats := s.db.Stats()
+	uptime := time.Since(s.start)
 	st := Stats{
-		UptimeMS: time.Since(s.start).Milliseconds(),
-		Panics:   s.panics.Load(),
+		UptimeMS:      uptime.Milliseconds(),
+		UptimeSeconds: uptime.Seconds(),
+		Panics:        s.panics.Load(),
+		SlowQueries:   s.slow.Logged(),
 		DB: DBStats{
 			Prepares:       dbStats.Prepares,
 			Execs:          dbStats.Execs,
@@ -387,6 +423,8 @@ func (s *Server) StatsSnapshot() Stats {
 			PlanEvictions:  dbStats.PlanEvictions,
 			SegmentsTotal:  dbStats.SegmentsTotal,
 			SegmentsPruned: dbStats.SegmentsPruned,
+			RowsScanned:    dbStats.RowsScanned,
+			RowsSelected:   dbStats.RowsSelected,
 		},
 		Admission: AdmissionStats{
 			MaxInFlight: s.cfg.MaxInFlight,
@@ -398,6 +436,7 @@ func (s *Server) StatsSnapshot() Stats {
 			Rejected:    s.adm.rejected.Load(),
 		},
 		Endpoints: make(map[string]EndpointStats, len(s.endpoints)),
+		Tables:    s.tableStats(),
 	}
 	for name, m := range s.endpoints {
 		st.Endpoints[name] = m.snapshot()

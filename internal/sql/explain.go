@@ -1,0 +1,49 @@
+package sql
+
+import "strings"
+
+// ExplainMode classifies an optional EXPLAIN prefix on a statement.
+type ExplainMode int
+
+const (
+	// ExplainNone means the statement had no EXPLAIN prefix.
+	ExplainNone ExplainMode = iota
+	// ExplainPlan is `EXPLAIN <select>`: render the plan, execute nothing.
+	ExplainPlan
+	// ExplainAnalyze is `EXPLAIN ANALYZE <select>`: execute with a trace
+	// and render the timed span tree.
+	ExplainAnalyze
+)
+
+// StripExplain detects and removes an EXPLAIN [ANALYZE] prefix
+// (case-insensitive), returning the mode and the remaining statement text.
+// It is shared by the interactive shell and the HTTP query endpoint so
+// both accept the same syntax.
+func StripExplain(text string) (ExplainMode, string) {
+	rest, ok := stripKeyword(text, "explain")
+	if !ok {
+		return ExplainNone, text
+	}
+	if rest2, ok := stripKeyword(rest, "analyze"); ok {
+		return ExplainAnalyze, rest2
+	}
+	return ExplainPlan, rest
+}
+
+// stripKeyword removes a leading keyword (case-insensitive) when it is
+// followed by a word boundary, returning the trimmed remainder.
+func stripKeyword(text, kw string) (string, bool) {
+	s := strings.TrimLeft(text, " \t\r\n")
+	if len(s) < len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+		return text, false
+	}
+	rest := s[len(kw):]
+	if rest != "" && !isSpaceByte(rest[0]) {
+		return text, false // e.g. a column named "explained"
+	}
+	return strings.TrimLeft(rest, " \t\r\n"), true
+}
+
+func isSpaceByte(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\r' || b == '\n'
+}

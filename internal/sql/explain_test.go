@@ -1,0 +1,26 @@
+package sql
+
+import "testing"
+
+func TestStripExplain(t *testing.T) {
+	cases := []struct {
+		in   string
+		mode ExplainMode
+		rest string
+	}{
+		{"SELECT 1", ExplainNone, "SELECT 1"},
+		{"EXPLAIN SELECT 1", ExplainPlan, "SELECT 1"},
+		{"explain select 1", ExplainPlan, "select 1"},
+		{"  ExPlAiN\n SELECT 1", ExplainPlan, "SELECT 1"},
+		{"EXPLAIN ANALYZE SELECT 1", ExplainAnalyze, "SELECT 1"},
+		{"explain analyze\nselect 1", ExplainAnalyze, "select 1"},
+		{"EXPLAINED SELECT 1", ExplainNone, "EXPLAINED SELECT 1"},
+		{"EXPLAIN ANALYZER", ExplainPlan, "ANALYZER"},
+	}
+	for _, c := range cases {
+		mode, rest := StripExplain(c.in)
+		if mode != c.mode || rest != c.rest {
+			t.Errorf("StripExplain(%q) = (%d, %q), want (%d, %q)", c.in, mode, rest, c.mode, c.rest)
+		}
+	}
+}
