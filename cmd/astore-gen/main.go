@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"astore/internal/core"
@@ -22,12 +23,14 @@ import (
 
 func main() {
 	var (
-		schema  = flag.String("schema", "ssb", "dataset: ssb, tpch, or tpcds")
-		sf      = flag.Float64("sf", 0.05, "scale factor")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		save    = flag.String("save", "", "write the generated database image to this file")
-		load    = flag.String("load", "", "load a database image instead of generating")
-		segRows = flag.Int("segment-rows", 0, "segment fact tables at this row target before saving (0 = flat)")
+		schema   = flag.String("schema", "ssb", "dataset: ssb, tpch, or tpcds")
+		sf       = flag.Float64("sf", 0.05, "scale factor")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		save     = flag.String("save", "", "write the generated database image to this file")
+		load     = flag.String("load", "", "load a database image instead of generating")
+		segRows  = flag.Int("segment-rows", 0, "segment fact tables at this row target before saving (0 = flat)")
+		sortKeys = flag.String("sort-keys", "", "comma-separated fact columns to cluster by at consolidation (requires -segment-rows)")
+		encode   = flag.Bool("encode-sealed", false, "compress sealed-segment chunks (RLE/FoR) before saving (requires -segment-rows)")
 	)
 	flag.Parse()
 
@@ -78,6 +81,38 @@ func main() {
 			if err := t.SetSegmentTarget(*segRows); err != nil {
 				fmt.Fprintln(os.Stderr, "astore-gen:", err)
 				os.Exit(1)
+			}
+			if *sortKeys != "" {
+				var keys []string
+				for _, k := range strings.Split(*sortKeys, ",") {
+					k = strings.TrimSpace(k)
+					if k == "" {
+						continue
+					}
+					// ColumnType, not Column: the table is already
+					// segmented here, so flat columns report nil.
+					if _, ok := t.ColumnType(k); ok {
+						keys = append(keys, k)
+					}
+				}
+				if len(keys) > 0 {
+					if err := t.SetSortKeys(keys...); err != nil {
+						fmt.Fprintln(os.Stderr, "astore-gen:", err)
+						os.Exit(1)
+					}
+					// Consolidate applies the re-sort pass now, so the
+					// saved image carries clustered segments.
+					if _, err := storage.Consolidate(catalog, t); err != nil {
+						fmt.Fprintln(os.Stderr, "astore-gen:", err)
+						os.Exit(1)
+					}
+				}
+			}
+			if *encode {
+				if err := t.SetSealedEncodings(true); err != nil {
+					fmt.Fprintln(os.Stderr, "astore-gen:", err)
+					os.Exit(1)
+				}
 			}
 		}
 	}

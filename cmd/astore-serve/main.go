@@ -26,6 +26,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +49,10 @@ func main() {
 		cacheCap  = flag.Int("cache-cap", db.DefaultPlanCacheCap, "plan cache capacity")
 		segRows   = flag.Int("segment-rows", storage.DefaultSegmentRows,
 			"rows per fact-table segment (sealed segments + mutable tail: zone-map pruning, append-stable plans; 0 = flat)")
+		sortKeys = flag.String("sort-keys", "",
+			"comma-separated fact columns to cluster by at consolidation (keys a table lacks are ignored)")
+		encode = flag.Bool("encode-sealed", false,
+			"compress sealed-segment chunks (RLE/FoR) and serve them through per-encoding decode kernels")
 
 		maxInFlight = flag.Int("max-inflight", 4, "max concurrently executing queries")
 		maxQueue    = flag.Int("max-queue", 0, "max queued queries (0 = 2*max-inflight)")
@@ -65,15 +70,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	d, err := db.Open(catalog, core.Options{Workers: *workers, BatchRows: *batchRows, SegmentRows: *segRows})
+	opt := core.Options{Workers: *workers, BatchRows: *batchRows, SegmentRows: *segRows, SealedEncodings: *encode}
+	for _, k := range strings.Split(*sortKeys, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			opt.SortKeys = append(opt.SortKeys, k)
+		}
+	}
+	d, err := db.Open(catalog, opt)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if len(opt.SortKeys) > 0 {
+		// Apply the re-sort pass up front so the initial dataset is already
+		// clustered; later Consolidate calls keep it that way.
+		for _, fact := range d.Facts() {
+			if _, err := storage.Consolidate(catalog, catalog.Table(fact)); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 	d.SetPlanCacheCap(*cacheCap)
 	for _, t := range catalog.Tables() {
 		layout := "flat"
 		if sealed, total := t.SegmentCounts(); t.Segmented() {
 			layout = fmt.Sprintf("%d segments (%d sealed)", total, sealed)
+			if comp := t.Compression(); comp.EncodedChunks > 0 && comp.PhysicalBytes > 0 {
+				layout += fmt.Sprintf(", %.2fx compressed", float64(comp.LogicalBytes)/float64(comp.PhysicalBytes))
+			}
 		}
 		log.Printf("table %-12s %10d rows  %8.1f MB  %s", t.Name, t.NumRows(), float64(t.MemBytes())/(1<<20), layout)
 	}

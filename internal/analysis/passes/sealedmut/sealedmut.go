@@ -1,8 +1,9 @@
 // Package sealedmut checks the sealed-segment immutability invariant:
 // once a segment is sealed, its column chunks (the V / Codes backing
-// slices of the *Col types) are shared by every open snapshot, so they
-// must never be written in place — mutation goes through copy-on-write
-// (CloneChunk) followed by an epoch bump.
+// slices of the *Col types, and the End / Words payload slices of the
+// encoded RLE and FoR chunk types) are shared by every open snapshot, so
+// they must never be written in place — mutation goes through
+// copy-on-write (CloneChunk) followed by an epoch bump.
 //
 // The analyzer flags any statement that writes into a chunk's backing
 // slice:
@@ -33,7 +34,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "sealedmut",
-	Doc:  "sealed segment chunks (Col.V / DictCol.Codes) must not be written in place outside //astore:chunkwrite sites in internal/storage",
+	Doc:  "sealed segment chunks (Col.V / DictCol.Codes and encoded End / Words payloads) must not be written in place outside //astore:chunkwrite sites in internal/storage",
 	Run:  run,
 }
 
@@ -108,14 +109,17 @@ func baseOfIndex(e ast.Expr) ast.Expr {
 }
 
 // chunkSelector reports whether e is a selector for a chunk backing
-// slice: field V or Codes of a named struct type whose name ends in
-// "Col", of slice type.
+// slice: field V or Codes (plain chunks), or End or Words (encoded RLE /
+// FoR payloads), of a named struct type whose name ends in "Col", of
+// slice type.
 func chunkSelector(info *types.Info, e ast.Expr) *ast.SelectorExpr {
 	sel, ok := e.(*ast.SelectorExpr)
 	if !ok {
 		return nil
 	}
-	if sel.Sel.Name != "V" && sel.Sel.Name != "Codes" {
+	switch sel.Sel.Name {
+	case "V", "Codes", "End", "Words":
+	default:
 		return nil
 	}
 	selection, ok := info.Selections[sel]

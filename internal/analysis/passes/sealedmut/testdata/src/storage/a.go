@@ -10,6 +10,21 @@ type DictCol struct {
 	Dict  []string
 }
 
+// RLEInt32Col mirrors an encoded chunk: run values in V, cumulative
+// run ends in End — both shared, both immutable once sealed.
+type RLEInt32Col struct {
+	V   []int32
+	End []int32
+}
+
+// FoRInt64Col mirrors a bit-packed chunk: packed words in Words.
+type FoRInt64Col struct {
+	Base  int64
+	Width uint8
+	N     int
+	Words []uint64
+}
+
 // notAChunk has a V field but is not a *Col type: writes are fine.
 type notAChunk struct{ V []int32 }
 
@@ -42,8 +57,47 @@ func cloneChunk(c *Int32Col) *Int32Col {
 	return out
 }
 
+func patchRunEnds(c *RLEInt32Col, i int) {
+	c.End[i] = 0 // want `write into sealed chunk slice c\.End`
+}
+
+func regrowRuns(c *RLEInt32Col, v, end int32) {
+	c.V = append(c.V, v)       // want `reassignment of chunk slice c\.V`
+	c.End = append(c.End, end) // want `reassignment of chunk slice c\.End`
+}
+
+func patchWords(c *FoRInt64Col, w int) {
+	c.Words[w] |= 1 // want `write into sealed chunk slice c\.Words`
+}
+
+func bulkWords(c *FoRInt64Col, src []uint64) {
+	copy(c.Words, src) // want `copy into sealed chunk slice c\.Words`
+}
+
+// forPack is an audited encoder: the directive allowlists packing.
+//
+//astore:chunkwrite
+func forPack(vals []int64) *FoRInt64Col {
+	out := &FoRInt64Col{Words: make([]uint64, 2), N: len(vals)}
+	out.Words[0] = 42
+	return out
+}
+
 func readOnly(c *Int32Col, i int) int32 {
 	return c.V[i] // reads are always fine
+}
+
+func readRuns(c *RLEInt32Col, i int) int32 {
+	return c.V[findRunFixture(c.End, int32(i))] // reads are always fine
+}
+
+func findRunFixture(end []int32, r int32) int {
+	for i, e := range end {
+		if e > r {
+			return i
+		}
+	}
+	return len(end) - 1
 }
 
 func unrelated(n *notAChunk, i int) {

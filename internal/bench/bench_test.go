@@ -12,7 +12,7 @@ func tinyCfg() Config {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablation", "crossover", "fig1", "fig10", "fig8", "fig9",
+	want := []string{"ablation", "compress", "crossover", "fig1", "fig10", "fig8", "fig9",
 		"ingest", "table2", "table3", "table4", "table5", "trace"}
 	exps := Experiments()
 	if len(exps) != len(want) {

@@ -116,6 +116,10 @@ func (pl *plan) admitSegments(segs []storage.SegView, rs *runState) ([]execSeg, 
 		for fi := range pl.filters {
 			if !pl.filters[fi].mayMatchSegment(sv) {
 				pruned = true
+				if rs.stats.PruneByFilter == nil {
+					rs.stats.PruneByFilter = make(map[string]int)
+				}
+				rs.stats.PruneByFilter[pl.filters[fi].label]++
 				break
 			}
 		}
@@ -128,6 +132,9 @@ func (pl *plan) admitSegments(segs []storage.SegView, rs *runState) ([]execSeg, 
 		bindNS += time.Since(bindT0).Nanoseconds()
 		if err != nil {
 			return nil, err
+		}
+		if st.encoded {
+			rs.stats.EncodedSegments++
 		}
 		kept = append(kept, execSeg{sv: sv, st: st})
 	}
@@ -387,6 +394,23 @@ func (pl *plan) processMorselColumnar(p *partial, es execSeg, lo, hi int) {
 // direct matcher).
 func filterProbe(f *boundFilter, sel []int32) []int32 {
 	out := sel[:0]
+	if f.runEnd != nil {
+		// Run-at-a-time kernel over an RLE FK chunk: verdicts were
+		// computed per run at bind time; the (ascending) selection vector
+		// is walked with a forward-only run cursor, local to this call so
+		// cached bindings stay safe across concurrent workers.
+		end, pass := f.runEnd, f.runPass
+		ri := 0
+		for _, r := range sel {
+			for end[ri] <= r {
+				ri++
+			}
+			if pass[ri] {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
 	if f.probe.vec != nil && len(f.probe.dimFKs) == 0 {
 		fk := f.fk0
 		vec := f.probe.vec
@@ -482,6 +506,21 @@ func accumulateDim(b *boundDim, sel []int32, mi []int32, mult int32) bool {
 			mi[j] += id * mult
 		}
 	case gdRootDict:
+		if b.rleEnd != nil {
+			// Run-cursor variant: the cursor advances for every selected
+			// row (sel is ascending), independent of the null check.
+			codes, end := b.rleCodes, b.rleEnd
+			ri := 0
+			for j, r := range sel {
+				for end[ri] <= r {
+					ri++
+				}
+				if mi[j] >= 0 {
+					mi[j] += codes[ri] * mult
+				}
+			}
+			return false
+		}
 		codes := b.codes
 		for j, r := range sel {
 			if mi[j] >= 0 {
@@ -599,6 +638,17 @@ func (ba *boundAgg) sumLoop(vals []float64, sel, mi []int32) bool {
 	switch ba.ap.form {
 	case expr.FCol:
 		switch {
+		case ba.aRLEVals != nil:
+			// Run-cursor kernel over an RLE measure chunk: one pre-widened
+			// value per run, cursor local to this call.
+			a, end := ba.aRLEVals, ba.aRLEEnd
+			ri := 0
+			for j, r := range sel {
+				for end[ri] <= r {
+					ri++
+				}
+				vals[mi[j]] += a[ri]
+			}
 		case ba.aI64 != nil:
 			a := ba.aI64
 			for j, r := range sel {

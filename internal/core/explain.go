@@ -7,6 +7,7 @@ import (
 	"astore/internal/expr"
 	"astore/internal/obs"
 	"astore/internal/query"
+	"astore/internal/storage"
 )
 
 // Explain compiles the query and renders the resulting plan: the unified
@@ -90,13 +91,26 @@ func (e *Engine) Explain(q *query.Query) (string, error) {
 				kind = "probe (predicate vector)"
 				sel = fmt.Sprintf("sel %.4f", f.probe.sel)
 			}
-			fmt.Fprintf(&sb, "  %d. %-24s %-15s via %d AIR hop(s), %s%s\n",
-				i+1, kind, f.probe.table, 1+len(f.probe.dimFKs), sel, prune)
+			fmt.Fprintf(&sb, "  %d. %-24s %-15s via %s (%d AIR hop(s)), %s%s\n",
+				i+1, kind, f.probe.table, f.probe.fk0, 1+len(f.probe.dimFKs), sel, prune)
 		}
 	}
 	if pl.segmented {
 		fmt.Fprintf(&sb, "segment admission: %d/%d segments scanned (%d pruned by zone maps, %d empty)\n",
 			combinedKept, total, nonEmpty-combinedKept, total-nonEmpty)
+		encoded := 0
+		for i := range pl.planSegs {
+			for _, c := range pl.planSegs[i].Cols {
+				if storage.ChunkEncoding(c) != storage.EncPlain {
+					encoded++
+					break
+				}
+			}
+		}
+		if encoded > 0 {
+			fmt.Fprintf(&sb, "encoded segments: %d/%d (RLE/FoR chunks served by per-encoding decode kernels)\n",
+				encoded, total)
+		}
 	}
 	if len(pl.stats.PrefilterTables) > 0 {
 		fmt.Fprintf(&sb, "predicate vectors on: %s (deeper filters folded in)\n",

@@ -107,6 +107,21 @@ type Options struct {
 	// zone maps prune scans, and live appends stop evicting cached plans.
 	// Zero leaves tables flat. The engine itself executes either layout.
 	SegmentRows int
+	// SortKeys, when non-empty, makes db.Open configure every segmented
+	// fact table to re-sort surviving rows by these columns (integer or
+	// dict-coded) during Consolidate, before sealing. Clustering by the
+	// sort key tightens zone maps and lengthens runs, which is what makes
+	// the sealed-segment encodings below pay off. Keys missing from a
+	// fact table are ignored for that table. The engine itself does not
+	// consult this field.
+	SortKeys []string
+	// SealedEncodings, when true, makes db.Open enable compressed chunk
+	// formats (RLE, frame-of-reference bit-packing, RLE dictionary codes)
+	// on sealed segments of every segmented fact table. Chunks are
+	// encoded at seal time only when the encoded form is at most half the
+	// plain size; scans serve encoded chunks through per-encoding decode
+	// kernels. The engine itself does not consult this field.
+	SealedEncodings bool
 }
 
 func (o Options) withDefaults() Options {
@@ -163,6 +178,15 @@ type Stats struct {
 	// SegmentsPruned is the number of segments skipped entirely because a
 	// zone map proved no row could match (empty segments count as pruned).
 	SegmentsPruned int
+	// PruneByFilter attributes zone-map prunes to the filter that proved
+	// them, keyed by the filter's display label (the predicate text for
+	// root filters, "probe <table> via <fk>" for dimension probes). Empty
+	// segments, which every filter would prune, are not attributed.
+	PruneByFilter map[string]int
+	// EncodedSegments is the number of admitted segments containing at
+	// least one compressed (RLE or FoR) chunk, i.e. segments served by the
+	// per-encoding decode kernels rather than plain array scans.
+	EncodedSegments int
 
 	// UsedArrayAgg reports whether the multidimensional aggregation array
 	// was used (as opposed to hash aggregation).

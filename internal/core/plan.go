@@ -55,6 +55,9 @@ type scanFilter struct {
 	// schedule an expensive multi-hop string probe ahead of a cheap
 	// sequential integer compare of similar selectivity.
 	rank float64
+	// label identifies the filter in Explain output and per-filter prune
+	// attribution (Stats.PruneByFilter).
+	label string
 }
 
 // probeFilter evaluates dimension predicates during the root scan. With a
@@ -443,7 +446,7 @@ func (pl *plan) planFilters() error {
 	// value comparison). The rank scales selectivity by those costs.
 	for i := range pl.rootFilters {
 		f := &pl.rootFilters[i]
-		pl.filters = append(pl.filters, scanFilter{root: f, rank: f.sel})
+		pl.filters = append(pl.filters, scanFilter{root: f, rank: f.sel, label: f.pred.String()})
 	}
 	for i := range pl.probeFilters {
 		f := &pl.probeFilters[i]
@@ -452,7 +455,8 @@ func (pl *plan) planFilters() error {
 			cost = 2.5
 		}
 		cost += 0.2 * float64(len(f.dimFKs))
-		pl.filters = append(pl.filters, scanFilter{probe: f, rank: f.sel * cost})
+		label := fmt.Sprintf("probe %s via %s", f.table, f.fk0)
+		pl.filters = append(pl.filters, scanFilter{probe: f, rank: f.sel * cost, label: label})
 	}
 	sort.SliceStable(pl.filters, func(i, j int) bool {
 		return pl.filters[i].rank < pl.filters[j].rank
@@ -838,6 +842,7 @@ func (pl *plan) rootCovered(segs []storage.SegView) bool {
 // invalidate cached bindings.
 type segState struct {
 	n        int
+	encoded  bool // any chunk served by an encoded decode kernel
 	filters  []boundFilter
 	dims     []boundDim
 	aggs     []boundAgg
@@ -849,10 +854,20 @@ type boundFilter struct {
 	filt  func([]int32) []int32 // root filters
 	probe *probeFilter          // shared dimension-side state
 	fk0   []int32               // probe first hop, segment-local
+
+	// Run-at-a-time probe kernel: when the FK chunk is RLE-encoded, the
+	// probe verdict is computed once per run at bind time and the scan
+	// walks runs instead of rows. runEnd is the chunk's cumulative run-end
+	// array; runPass[ri] is run ri's verdict.
+	runEnd  []int32
+	runPass []bool
 }
 
 // keep reports whether local row r passes a probe filter.
 func (bf *boundFilter) keep(r int32) bool {
+	if bf.runEnd != nil {
+		return bf.runPass[sort.Search(len(bf.runEnd), func(i int) bool { return bf.runEnd[i] > r })]
+	}
 	x := bf.fk0[r]
 	for _, fk := range bf.probe.dimFKs {
 		x = fk[x]
@@ -863,6 +878,19 @@ func (bf *boundFilter) keep(r int32) bool {
 	return bf.probe.match(x)
 }
 
+// passValue reports whether FK value x (a first-level dimension row) passes
+// the probe, walking the remaining AIR hops. Factored out so RLE probe
+// binding can evaluate each distinct run value exactly once.
+func (p *probeFilter) passValue(x int32) bool {
+	for _, fk := range p.dimFKs {
+		x = fk[x]
+	}
+	if p.vec != nil {
+		return p.vec.Get(int(x))
+	}
+	return p.match(x)
+}
+
 // boundDim is one groupDim bound to a segment.
 type boundDim struct {
 	d     *groupDim
@@ -871,6 +899,12 @@ type boundDim struct {
 	i32   []int32 // root numeric kinds (one of i32/i64/f64 set)
 	i64   []int64
 	f64   []float64
+
+	// Run-at-a-time grouping kernel: when a root dict chunk is
+	// RLE-encoded, its per-run codes are read directly (one code per run
+	// instead of one per row).
+	rleCodes []int32
+	rleEnd   []int32
 }
 
 // id returns the dense group id of local row r, or -1 if the row is
@@ -886,6 +920,9 @@ func (b *boundDim) id(r int32) int32 {
 		}
 		return d.vec[x]
 	case gdRootDict:
+		if b.rleEnd != nil {
+			return b.rleCodes[sort.Search(len(b.rleEnd), func(i int) bool { return b.rleEnd[i] > r })]
+		}
 		return b.codes[r]
 	default:
 		switch {
@@ -911,6 +948,12 @@ type boundAgg struct {
 	bI64 []int64
 	bF64 []float64
 	fast bool
+
+	// Run-at-a-time sum kernel: when a SUM(col) measure chunk is
+	// RLE-encoded, the per-run values are pre-widened to float64 and the
+	// accumulation loop walks runs with a cursor instead of reading rows.
+	aRLEVals []float64
+	aRLEEnd  []int32
 }
 
 // segStateFor returns the binding for one segment view, serving sealed
@@ -949,6 +992,12 @@ func (pl *plan) segStateFor(sv *storage.SegView) (*segState, error) {
 func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 	cols := sv.Cols
 	st := &segState{n: sv.N}
+	for _, c := range cols {
+		if storage.ChunkEncoding(c) != storage.EncPlain {
+			st.encoded = true
+			break
+		}
+	}
 
 	st.filters = make([]boundFilter, 0, len(pl.filters))
 	for i := range pl.filters {
@@ -963,6 +1012,17 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 				return nil, err
 			}
 			st.filters = append(st.filters, boundFilter{filt: filt})
+			continue
+		}
+		// RLE FK chunks get the run-at-a-time probe kernel: each distinct
+		// run value is chased through the AIR chain exactly once here, and
+		// the scan consults only the per-run verdicts.
+		if rle, ok := cols[f.probe.fk0].(*storage.RLEInt32Col); ok {
+			pass := make([]bool, len(rle.V))
+			for ri, x := range rle.V {
+				pass[ri] = f.probe.passValue(x)
+			}
+			st.filters = append(st.filters, boundFilter{probe: f.probe, runEnd: rle.End, runPass: pass})
 			continue
 		}
 		fk0, err := int32Chunk(cols, f.probe.fk0)
@@ -983,11 +1043,14 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 			}
 			bd.fk0 = fk0
 		case gdRootDict:
-			c, ok := cols[d.col].(*storage.DictCol)
-			if !ok {
+			switch c := cols[d.col].(type) {
+			case *storage.DictCol:
+				bd.codes = c.Codes
+			case *storage.RLEDictCol:
+				bd.rleCodes, bd.rleEnd = c.V, c.End
+			default:
 				return nil, fmt.Errorf("core: segment column %s is not dict-compressed", d.col)
 			}
-			bd.codes = c.Codes
 		default:
 			switch c := cols[d.col].(type) {
 			case *storage.Int32Col:
@@ -996,6 +1059,14 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 				bd.i64 = c.V
 			case *storage.Float64Col:
 				bd.f64 = c.V
+			case *storage.RLEInt32Col:
+				bd.i32 = c.DecodeInt32()
+			case *storage.RLEInt64Col:
+				bd.i64 = c.DecodeInt64()
+			case *storage.FoRInt32Col:
+				bd.i32 = c.DecodeInt32()
+			case *storage.FoRInt64Col:
+				bd.i64 = c.DecodeInt64()
 			default:
 				return nil, fmt.Errorf("core: segment column %s is not numeric", d.col)
 			}
@@ -1040,6 +1111,10 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 			}
 			ba.eval = eval
 			if ap.fastTry {
+				// Bind-time decode kernels: FoR chunks decode word-wise
+				// into a dense array once per (segment, epoch); RLE chunks
+				// used as SUM(col) measures keep their run form and feed
+				// the run-cursor sum loop.
 				assign := func(name string, i32 *[]int32, i64 *[]int64, f64 *[]float64) bool {
 					switch c := cols[name].(type) {
 					case *storage.Int32Col:
@@ -1048,14 +1123,34 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 						*i64 = c.V
 					case *storage.Float64Col:
 						*f64 = c.V
+					case *storage.RLEInt32Col:
+						*i32 = c.DecodeInt32()
+					case *storage.RLEInt64Col:
+						*i64 = c.DecodeInt64()
+					case *storage.FoRInt32Col:
+						*i32 = c.DecodeInt32()
+					case *storage.FoRInt64Col:
+						*i64 = c.DecodeInt64()
 					default:
 						return false
 					}
 					return true
 				}
-				ba.fast = assign(ap.colA, &ba.aI32, &ba.aI64, &ba.aF64)
-				if ba.fast && ap.colB != "" {
-					ba.fast = assign(ap.colB, &ba.bI32, &ba.bI64, &ba.bF64)
+				if ap.form == expr.FCol {
+					switch c := cols[ap.colA].(type) {
+					case *storage.RLEInt32Col:
+						ba.aRLEVals, ba.aRLEEnd = widenRuns32(c.V), c.End
+						ba.fast = true
+					case *storage.RLEInt64Col:
+						ba.aRLEVals, ba.aRLEEnd = widenRuns64(c.V), c.End
+						ba.fast = true
+					}
+				}
+				if !ba.fast {
+					ba.fast = assign(ap.colA, &ba.aI32, &ba.aI64, &ba.aF64)
+					if ba.fast && ap.colB != "" {
+						ba.fast = assign(ap.colB, &ba.bI32, &ba.bI64, &ba.bF64)
+					}
 				}
 			}
 		}
@@ -1082,11 +1177,35 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 }
 
 func int32Chunk(cols map[string]storage.Column, name string) ([]int32, error) {
-	c, ok := cols[name].(*storage.Int32Col)
-	if !ok {
-		return nil, fmt.Errorf("core: segment column %s is not int32", name)
+	switch c := cols[name].(type) {
+	case *storage.Int32Col:
+		return c.V, nil
+	case *storage.RLEInt32Col:
+		return c.DecodeInt32(), nil
+	case *storage.FoRInt32Col:
+		// Word-wise decode: consecutive packed values are extracted from
+		// each 64-bit word in sequence (spill values touch two words).
+		return c.DecodeInt32(), nil
 	}
-	return c.V, nil
+	return nil, fmt.Errorf("core: segment column %s is not int32", name)
+}
+
+// widenRuns32 pre-widens RLE run values to float64 for the run-cursor
+// accumulation loop.
+func widenRuns32(v []int32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func widenRuns64(v []int64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
 }
 
 // mayMatchSegment reports whether a filter could select any row of the

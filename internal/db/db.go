@@ -94,6 +94,13 @@ type Stats struct {
 	// RowsSelected counts root rows surviving all predicates across
 	// executions.
 	RowsSelected int64
+	// EncodedSegments counts admitted root segments containing at least
+	// one compressed (RLE/FoR) chunk across executions.
+	EncodedSegments int64
+	// PruneByFilter attributes zone-map segment prunes to the filter that
+	// proved them, keyed by the filter's display label, cumulative across
+	// executions.
+	PruneByFilter map[string]int64
 }
 
 // Open builds a DB over the catalog: every fact table (a table referenced
@@ -130,6 +137,30 @@ func Open(catalog *storage.Database, opt core.Options) (*DB, error) {
 		if opt.SegmentRows > 0 && !t.Segmented() {
 			if err := t.SetSegmentTarget(opt.SegmentRows); err != nil {
 				return nil, fmt.Errorf("db: fact table %s: %w", t.Name, err)
+			}
+		}
+		if t.Segmented() {
+			// Sort keys apply per table: keys a fact table does not have
+			// are dropped (a shared key list may span heterogeneous facts).
+			if len(opt.SortKeys) > 0 {
+				var keys []string
+				for _, k := range opt.SortKeys {
+					// ColumnType, not Column: segmented tables keep their
+					// schema in colTypes and report nil flat columns.
+					if _, ok := t.ColumnType(k); ok {
+						keys = append(keys, k)
+					}
+				}
+				if len(keys) > 0 {
+					if err := t.SetSortKeys(keys...); err != nil {
+						return nil, fmt.Errorf("db: fact table %s: %w", t.Name, err)
+					}
+				}
+			}
+			if opt.SealedEncodings {
+				if err := t.SetSealedEncodings(true); err != nil {
+					return nil, fmt.Errorf("db: fact table %s: %w", t.Name, err)
+				}
 			}
 		}
 		eng, err := core.New(t, opt)
@@ -175,7 +206,14 @@ func (d *DB) SetPlanCacheCap(n int) {
 func (d *DB) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.stats
+	s := d.stats
+	if d.stats.PruneByFilter != nil {
+		s.PruneByFilter = make(map[string]int64, len(d.stats.PruneByFilter))
+		for k, v := range d.stats.PruneByFilter {
+			s.PruneByFilter[k] = v
+		}
+	}
+	return s
 }
 
 // referencedCols lists every column name a query mentions, in a
@@ -443,6 +481,15 @@ func (d *DB) execCounted(ctx context.Context, eng *core.Engine, view *core.View,
 		d.stats.SegmentsPruned += int64(stats.SegmentsPruned)
 		d.stats.RowsScanned += stats.RowsScanned
 		d.stats.RowsSelected += stats.RowsSelected
+		d.stats.EncodedSegments += int64(stats.EncodedSegments)
+		if len(stats.PruneByFilter) > 0 {
+			if d.stats.PruneByFilter == nil {
+				d.stats.PruneByFilter = make(map[string]int64)
+			}
+			for k, v := range stats.PruneByFilter {
+				d.stats.PruneByFilter[k] += int64(v)
+			}
+		}
 		d.mu.Unlock()
 	}
 	return res, err

@@ -519,3 +519,66 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOpenThreadsSortKeysAndEncodings is the regression test for the
+// Options.SortKeys wiring: Open segments fact tables *before* configuring
+// sort keys, so the membership check must consult the schema
+// (ColumnType), not the flat-column map, which is empty once segmented.
+// Unknown keys are dropped silently; results must match the unclustered
+// catalog after the reordering consolidation.
+func TestOpenThreadsSortKeysAndEncodings(t *testing.T) {
+	cat, fact := starCatalog(7, 900)
+	want := mustExec(t, mustOpen(t, starOnly(t, 7, 900)), sumRevenueByRegion())
+
+	d, err := Open(cat, core.Options{
+		SegmentRows:     64,
+		SortKeys:        []string{"f_dk", "no_such_col"},
+		SealedEncodings: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fact.SortKeys(); len(got) != 1 || got[0] != "f_dk" {
+		t.Fatalf("SortKeys() = %v, want [f_dk] (segmented tables must keep schema-resolved keys)", got)
+	}
+	if !fact.SealedEncodings() {
+		t.Fatal("SealedEncodings not threaded")
+	}
+	// The re-sort pass clusters by f_dk; answers are order-independent.
+	if _, err := storage.Consolidate(cat, fact); err != nil {
+		t.Fatal(err)
+	}
+	got := mustExec(t, d, sumRevenueByRegion())
+	if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+		t.Fatalf("reordered results diverge:\n got %v\nwant %v", got.Rows, want.Rows)
+	}
+}
+
+// starOnly rebuilds an identical flat catalog for baseline answers.
+func starOnly(t *testing.T, seed int64, n int) *storage.Database {
+	t.Helper()
+	cat, _ := starCatalog(seed, n)
+	return cat
+}
+
+func mustOpen(t *testing.T, cat *storage.Database) *DB {
+	t.Helper()
+	d, err := Open(cat, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustExec(t *testing.T, d *DB, q *query.Query) *query.Result {
+	t.Helper()
+	p, err := d.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

@@ -208,6 +208,46 @@ func (p Pred) Filterer(c storage.Column) (func(sel []int32) []int32, error) {
 				return out
 			}, nil
 		}
+
+	// Run-at-a-time kernels for RLE chunks: the predicate is evaluated once
+	// per run at compile time, and the scan walks the (ascending) selection
+	// vector with a run cursor — no per-row value access at all.
+	case *storage.RLEInt32Col:
+		if p.Kind != KStr {
+			pass := make([]bool, len(col.V))
+			for ri, v := range col.V {
+				if p.Kind == KFloat {
+					pass[ri] = p.matchFloat(float64(v))
+				} else {
+					pass[ri] = p.matchInt(int64(v))
+				}
+			}
+			return rleSelFilter(col.End, pass), nil
+		}
+	case *storage.RLEInt64Col:
+		if p.Kind != KStr {
+			pass := make([]bool, len(col.V))
+			for ri, v := range col.V {
+				if p.Kind == KFloat {
+					pass[ri] = p.matchFloat(float64(v))
+				} else {
+					pass[ri] = p.matchInt(v)
+				}
+			}
+			return rleSelFilter(col.End, pass), nil
+		}
+	case *storage.RLEDictCol:
+		if p.Kind == KStr {
+			mask, err := p.DictMask(col.Dict)
+			if err != nil {
+				return nil, err
+			}
+			pass := make([]bool, len(col.V))
+			for ri, code := range col.V {
+				pass[ri] = mask[code]
+			}
+			return rleSelFilter(col.End, pass), nil
+		}
 	}
 
 	m, err := p.Matcher(c)
@@ -223,6 +263,26 @@ func (p Pred) Filterer(c storage.Column) (func(sel []int32) []int32, error) {
 		}
 		return out
 	}, nil
+}
+
+// rleSelFilter builds a run-cursor selection filter over precomputed
+// per-run verdicts. Selection vectors are ascending, so the cursor only
+// moves forward; it is re-initialized on every call, making the returned
+// closure safe for concurrent use across scan workers.
+func rleSelFilter(end []int32, pass []bool) func(sel []int32) []int32 {
+	return func(sel []int32) []int32 {
+		out := sel[:0]
+		ri := 0
+		for _, r := range sel {
+			for end[ri] <= r {
+				ri++
+			}
+			if pass[ri] {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
 }
 
 // FilterSelVia refines selection vector sel of *root* rows by testing the

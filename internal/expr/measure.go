@@ -143,6 +143,14 @@ func ColAccessor(c storage.Column) (func(int32) float64, error) {
 	case *storage.Float64Col:
 		v := c.V
 		return func(i int32) float64 { return v[i] }, nil
+	case *storage.RLEInt32Col:
+		return func(i int32) float64 { return float64(c.At(int(i))) }, nil
+	case *storage.RLEInt64Col:
+		return func(i int32) float64 { return float64(c.At(int(i))) }, nil
+	case *storage.FoRInt32Col:
+		return func(i int32) float64 { return float64(c.At(int(i))) }, nil
+	case *storage.FoRInt64Col:
+		return func(i int32) float64 { return float64(c.At(int(i))) }, nil
 	default:
 		return nil, fmt.Errorf("expr: column of type %s is not numeric", c.Type())
 	}

@@ -100,6 +100,14 @@ type DBStats struct {
 	// surviving all predicates across executions.
 	RowsScanned  int64 `json:"rows_scanned"`
 	RowsSelected int64 `json:"rows_selected"`
+	// EncodedSegments counts admitted segments containing at least one
+	// compressed (RLE/FoR) chunk across executions.
+	EncodedSegments int64 `json:"encoded_segments"`
+	// PruneByFilter attributes segment prunes to the filter that proved
+	// them, keyed by the filter's display label (predicate text for root
+	// filters, "probe <table> via <fk>" for dimension probes). Omitted
+	// until the first attributed prune.
+	PruneByFilter map[string]int64 `json:"prune_by_filter,omitempty"`
 }
 
 // TableStats is the per-table block of /v1/stats: the row count and
@@ -116,6 +124,13 @@ type TableStats struct {
 	// tables, 1 for flat tables.
 	Segments int `json:"segments"`
 	Sealed   int `json:"sealed"`
+	// LogicalBytes and PhysicalBytes report the decoded vs. stored size of
+	// the table's live chunks; they differ when sealed-segment encodings
+	// are enabled. EncodedChunks of Chunks are stored compressed.
+	LogicalBytes  int64 `json:"logical_bytes"`
+	PhysicalBytes int64 `json:"physical_bytes"`
+	EncodedChunks int   `json:"encoded_chunks"`
+	Chunks        int   `json:"chunks"`
 }
 
 // Stats is the GET /v1/stats response body.

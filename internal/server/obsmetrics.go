@@ -64,6 +64,8 @@ func (s *Server) initMetrics() {
 		func() int64 { return s.db.Stats().RowsScanned })
 	dbCounter("astore_rows_selected_total", "Root rows surviving all predicates across executions.",
 		func() int64 { return s.db.Stats().RowsSelected })
+	dbCounter("astore_encoded_segments_total", "Admitted segments containing compressed (RLE/FoR) chunks.",
+		func() int64 { return s.db.Stats().EncodedSegments })
 
 	// Admission controller state and totals.
 	r.GaugeFunc("astore_admission_in_flight", "Queries currently executing.",
@@ -100,6 +102,22 @@ func (s *Server) initMetrics() {
 			}
 			return out
 		})
+	r.GaugeFuncVec("astore_table_physical_bytes", "Stored size of live chunks per table (after encodings).", "table",
+		func() []obs.LabeledSample {
+			var out []obs.LabeledSample
+			for _, t := range s.db.Catalog().Tables() {
+				out = append(out, obs.LabeledSample{Label: t.Name, Value: float64(t.Compression().PhysicalBytes)})
+			}
+			return out
+		})
+	r.GaugeFuncVec("astore_table_logical_bytes", "Decoded size of live chunks per table.", "table",
+		func() []obs.LabeledSample {
+			var out []obs.LabeledSample
+			for _, t := range s.db.Catalog().Tables() {
+				out = append(out, obs.LabeledSample{Label: t.Name, Value: float64(t.Compression().LogicalBytes)})
+			}
+			return out
+		})
 }
 
 // Registry exposes the server's metric registry (tests and embedders may
@@ -122,12 +140,17 @@ func (s *Server) tableStats() map[string]TableStats {
 		rows := snap.NumRows()
 		snap.Release()
 		sealed, total := t.SegmentCounts()
+		comp := t.Compression()
 		out[t.Name] = TableStats{
 			Rows:          int64(rows),
 			DataVersion:   t.DataVersion(),
 			SchemaVersion: t.SchemaVersion(),
 			Segments:      total,
 			Sealed:        sealed,
+			LogicalBytes:  comp.LogicalBytes,
+			PhysicalBytes: comp.PhysicalBytes,
+			EncodedChunks: comp.EncodedChunks,
+			Chunks:        comp.TotalChunks,
 		}
 	}
 	return out

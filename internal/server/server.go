@@ -415,16 +415,18 @@ func (s *Server) StatsSnapshot() Stats {
 		Panics:        s.panics.Load(),
 		SlowQueries:   s.slow.Logged(),
 		DB: DBStats{
-			Prepares:       dbStats.Prepares,
-			Execs:          dbStats.Execs,
-			PlanHits:       dbStats.PlanHits,
-			PlanMisses:     dbStats.PlanMisses,
-			PlanStale:      dbStats.PlanStale,
-			PlanEvictions:  dbStats.PlanEvictions,
-			SegmentsTotal:  dbStats.SegmentsTotal,
-			SegmentsPruned: dbStats.SegmentsPruned,
-			RowsScanned:    dbStats.RowsScanned,
-			RowsSelected:   dbStats.RowsSelected,
+			Prepares:        dbStats.Prepares,
+			Execs:           dbStats.Execs,
+			PlanHits:        dbStats.PlanHits,
+			PlanMisses:      dbStats.PlanMisses,
+			PlanStale:       dbStats.PlanStale,
+			PlanEvictions:   dbStats.PlanEvictions,
+			SegmentsTotal:   dbStats.SegmentsTotal,
+			SegmentsPruned:  dbStats.SegmentsPruned,
+			RowsScanned:     dbStats.RowsScanned,
+			RowsSelected:    dbStats.RowsSelected,
+			EncodedSegments: dbStats.EncodedSegments,
+			PruneByFilter:   dbStats.PruneByFilter,
 		},
 		Admission: AdmissionStats{
 			MaxInFlight: s.cfg.MaxInFlight,

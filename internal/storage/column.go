@@ -244,6 +244,16 @@ func Int64At(c Column, i int) (v int64, ok bool) {
 		return int64(c.V[i]), true
 	case *DictCol:
 		return int64(c.Codes[i]), true
+	case *RLEInt32Col:
+		return int64(c.At(i)), true
+	case *RLEInt64Col:
+		return c.At(i), true
+	case *RLEDictCol:
+		return int64(c.At(i)), true
+	case *FoRInt32Col:
+		return int64(c.At(i)), true
+	case *FoRInt64Col:
+		return c.At(i), true
 	default:
 		return 0, false
 	}
@@ -259,6 +269,14 @@ func Float64At(c Column, i int) (v float64, ok bool) {
 		return float64(c.V[i]), true
 	case *Float64Col:
 		return c.V[i], true
+	case *RLEInt32Col:
+		return float64(c.At(i)), true
+	case *RLEInt64Col:
+		return float64(c.At(i)), true
+	case *FoRInt32Col:
+		return float64(c.At(i)), true
+	case *FoRInt64Col:
+		return float64(c.At(i)), true
 	default:
 		return 0, false
 	}
@@ -270,6 +288,8 @@ func StringAt(c Column, i int) (s string, ok bool) {
 	case *StrCol:
 		return c.V[i], true
 	case *DictCol:
+		return c.Value(i), true
+	case *RLEDictCol:
 		return c.Value(i), true
 	default:
 		return "", false

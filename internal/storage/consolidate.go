@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Consolidate compacts table t by physically removing tuples marked in the
 // deletion vector, preserving the order of surviving tuples, and rewrites
@@ -40,7 +43,8 @@ func Consolidate(db *Database, t *Table) ([]int32, error) {
 			return nil, fmt.Errorf("storage: consolidate %s: referrer %s pinned by snapshot", t.Name, r.From.Name)
 		}
 	}
-	if t.deletedCountLocked() == 0 {
+	reorder := t.Segmented() && len(t.sortKeys) > 0
+	if t.deletedCountLocked() == 0 && !reorder {
 		// Nothing to compact; identity map.
 		remap := make([]int32, t.nrows)
 		for i := range remap {
@@ -166,7 +170,11 @@ func (t *Table) consolidateFlatLocked() []int32 {
 // rows: surviving rows are copied into fresh arrays, re-chunked into sealed
 // segments at the current target plus a tail. Old segments are discarded
 // whole — they are never compacted in place, so any stale reader keeps a
-// coherent (if outdated) view.
+// coherent (if outdated) view. When sort keys are configured, surviving
+// rows are additionally stable-sorted by the key columns before re-sealing
+// (attribute-value reordering): zone maps tighten and equal key values form
+// the runs RLE encoding exploits. The returned remap composes compaction
+// and reordering, so referrer FKs are rewritten once.
 func (t *Table) consolidateSegmentedLocked() []int32 {
 	flat, del := t.flattenLocked()
 	remap := make([]int32, t.nrows)
@@ -187,10 +195,91 @@ func (t *Table) consolidateSegmentedLocked() []int32 {
 	for _, name := range t.names {
 		flat[name].Truncate(next)
 	}
+	if len(t.sortKeys) > 0 && next > 1 {
+		t.reorderFlatLocked(flat, remap, next)
+	}
 	t.nrows = next
 	t.segs = t.segs[:0]
 	t.rebuildSegmentsLocked(flat, nil, nil)
 	return remap
+}
+
+// reorderFlatLocked stable-sorts the compacted flat columns by the table's
+// sort keys and composes the permutation into remap (which currently maps
+// old indexes to compacted indexes).
+func (t *Table) reorderFlatLocked(flat map[string]Column, remap []int32, n int) {
+	keys := make([]Column, 0, len(t.sortKeys))
+	for _, name := range t.sortKeys {
+		keys = append(keys, flat[name])
+	}
+	// perm[newPos] = compacted index that lands at newPos.
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		for _, kc := range keys {
+			va, _ := Int64At(kc, int(perm[a]))
+			vb, _ := Int64At(kc, int(perm[b]))
+			if va != vb {
+				return va < vb
+			}
+		}
+		return false
+	})
+	for name, c := range flat {
+		flat[name] = gatherColumn(c, perm)
+	}
+	// inv[compacted] = final position after the sort.
+	inv := make([]int32, n)
+	for newPos, mid := range perm {
+		inv[mid] = int32(newPos)
+	}
+	for i, m := range remap {
+		if m >= 0 {
+			remap[i] = inv[m]
+		}
+	}
+}
+
+// gatherColumn builds a fresh plain column with out[i] = c[perm[i]].
+//
+//astore:chunkwrite
+func gatherColumn(c Column, perm []int32) Column {
+	switch c := c.(type) {
+	case *Int32Col:
+		out := make([]int32, len(perm))
+		for i, p := range perm {
+			out[i] = c.V[p]
+		}
+		return &Int32Col{V: out}
+	case *Int64Col:
+		out := make([]int64, len(perm))
+		for i, p := range perm {
+			out[i] = c.V[p]
+		}
+		return &Int64Col{V: out}
+	case *Float64Col:
+		out := make([]float64, len(perm))
+		for i, p := range perm {
+			out[i] = c.V[p]
+		}
+		return &Float64Col{V: out}
+	case *StrCol:
+		out := make([]string, len(perm))
+		for i, p := range perm {
+			out[i] = c.V[p]
+		}
+		return &StrCol{V: out}
+	case *DictCol:
+		out := make([]int32, len(perm))
+		for i, p := range perm {
+			out[i] = c.Codes[p]
+		}
+		return &DictCol{Codes: out, Dict: c.Dict}
+	default:
+		panic("storage: unknown column type in gatherColumn")
+	}
 }
 
 // remapFKLocked rewrites every value of an int32 FK column through remap.
@@ -203,7 +292,15 @@ func (t *Table) consolidateSegmentedLocked() []int32 {
 func (t *Table) remapFKLocked(col string, remap []int32) {
 	if t.Segmented() {
 		for _, s := range t.allSegsLocked() {
-			fk := s.cols[col].(*Int32Col)
+			c := s.cols[col]
+			encoded := ChunkEncoding(c) != EncPlain
+			if encoded {
+				// Encoded chunks are immutable: rewrite a decoded copy,
+				// then re-encode the result (run/width structure may have
+				// changed with the new indexes).
+				c = cloneChunk(c, s.cap)
+			}
+			fk := c.(*Int32Col)
 			for i := range fk.V[:s.n] {
 				if nv := remap[fk.V[i]]; nv >= 0 {
 					fk.V[i] = nv
@@ -211,7 +308,13 @@ func (t *Table) remapFKLocked(col string, remap []int32) {
 					fk.V[i] = 0
 				}
 			}
-			if z, ok := zoneOfChunk(fk, s.n); ok {
+			s.cols[col] = c
+			if encoded && s.sealed {
+				if ec, ok := EncodeChunk(c, s.n); ok {
+					s.cols[col] = ec
+				}
+			}
+			if z, ok := zoneOfChunk(s.cols[col], s.n); ok {
 				s.zones[col] = z
 			}
 			s.epoch++

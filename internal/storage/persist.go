@@ -10,7 +10,7 @@ import (
 
 // Binary database image format (little-endian throughout):
 //
-//	magic "ASTORDB2"
+//	magic "ASTORDB3"
 //	u32 dictCount, then per dictionary: u32 valueCount, values (u32 len + bytes)
 //	u32 tableCount, then per table:
 //	    name, u32 rowCount
@@ -18,24 +18,31 @@ import (
 //	    u32 sealedSegmentCount, then per sealed segment: u32 rowCount
 //	        (the segment manifest; the tail holds the remaining rows)
 //	    u32 colCount
-//	    per column: name, u8 type, payload
-//	        int32/int64/float64: fixed-width array
-//	        string:              per-row u32 len + bytes
-//	        dict:                u32 dictionary index + code array
+//	    per column: name, u8 type [+ u32 dictionary index for dict columns],
+//	    then one tagged chunk per segment (flat tables: one chunk total):
+//	        u8 encoding tag (0 = plain, 1 = RLE, 2 = FoR), payload:
+//	        plain int32/int64/float64: fixed-width array
+//	        plain string:              per-row u32 len + bytes
+//	        plain dict:                code array (u32 each)
+//	        RLE:  u32 runCount, run values (u32 or u64 by type), then
+//	              cumulative exclusive run ends (u32 each)
+//	        FoR:  u64 base, u8 bit width, u32 rowCount, u32 wordCount,
+//	              packed words (u64 each)
 //	    u8 hasDeletionVector [+ bitmap words]
 //	    u32 fkCount, then per FK: column name, referenced table name
 //
-// Column payloads are written flat — segment chunks concatenate in row
-// order, so a segmented table's payload is identical to its flat
-// equivalent; the manifest records the exact chunk boundaries and the
-// loader re-chunks on read (zone maps are recomputed, not stored). The
-// "ASTORDB1" format (no segmentTarget/manifest fields) is still read.
+// Sealed chunks persist in their in-memory encoding, so an image written
+// by a table with sealed-segment encodings restores bit-identical encoded
+// chunks (zone maps are recomputed, not stored). Two older formats are
+// still read: "ASTORDB2" (same manifest, untagged flat column payloads,
+// re-chunked on load) and "ASTORDB1" (no segmentTarget/manifest fields).
 //
 // Shared dictionaries serialize once and rewire on load, preserving the
 // code stability that lets tables share them. The slot free list is not
 // stored; it is derivable from the deletion vector.
 const (
-	persistMagic   = "ASTORDB2"
+	persistMagic   = "ASTORDB3"
+	persistMagicV2 = "ASTORDB2"
 	persistMagicV1 = "ASTORDB1"
 )
 
@@ -125,7 +132,7 @@ func saveTableLocked(bw *bufio.Writer, t *Table, dictID map[*Dict]uint32) error 
 		}
 		for i := range views {
 			sv := &views[i]
-			if err := writeColumnPayload(bw, sv.Cols[name], sv.N); err != nil {
+			if err := writeChunkPayload(bw, sv.Cols[name], sv.N); err != nil {
 				return fmt.Errorf("storage: save %s.%s: %w", t.Name, name, err)
 			}
 		}
@@ -185,10 +192,18 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("storage: load: %w", err)
 	}
-	v1 := string(magic) == persistMagicV1
-	if string(magic) != persistMagic && !v1 {
+	var version int
+	switch string(magic) {
+	case persistMagic:
+		version = 3
+	case persistMagicV2:
+		version = 2
+	case persistMagicV1:
+		version = 1
+	default:
 		return nil, fmt.Errorf("storage: load: bad magic %q", magic)
 	}
+	v1 := version == 1
 
 	nd, err := readU32(br)
 	if err != nil {
@@ -270,17 +285,66 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 			return nil, fmt.Errorf("storage: load: table %s implausible shape", name)
 		}
 		t := NewTable(name)
+		// v3 images of segmented tables store one tagged chunk per segment;
+		// older images (and flat tables) store one flat payload per column.
+		v3seg := version == 3 && segTarget > 0
+		var chunkCounts []int
+		var chunks map[string][]Column
+		if v3seg {
+			tail := int(nrows)
+			for _, rows := range sealedRows {
+				tail -= rows
+			}
+			chunkCounts = append(append([]int(nil), sealedRows...), tail)
+			chunks = make(map[string][]Column, ncols)
+		}
 		for ci := uint32(0); ci < ncols; ci++ {
 			colName, err := readStr(br)
 			if err != nil {
 				return nil, err
 			}
-			c, err := readColumn(br, int(nrows), dicts)
-			if err != nil {
-				return nil, fmt.Errorf("storage: load %s.%s: %w", name, colName, err)
-			}
-			if err := t.AddColumn(colName, c); err != nil {
-				return nil, err
+			switch {
+			case v3seg:
+				typ, dict, err := readColumnHeader(br, dicts)
+				if err != nil {
+					return nil, fmt.Errorf("storage: load %s.%s: %w", name, colName, err)
+				}
+				if _, dup := t.colTypes[colName]; dup {
+					return nil, fmt.Errorf("storage: load %s: duplicate column %s", name, colName)
+				}
+				t.names = append(t.names, colName)
+				t.colTypes[colName] = typ
+				if dict != nil {
+					t.colDicts[colName] = dict
+				}
+				t.schemaVersion++
+				for _, cn := range chunkCounts {
+					c, err := readChunk(br, typ, cn, dict)
+					if err != nil {
+						return nil, fmt.Errorf("storage: load %s.%s: %w", name, colName, err)
+					}
+					chunks[colName] = append(chunks[colName], c)
+				}
+			case version == 3:
+				typ, dict, err := readColumnHeader(br, dicts)
+				if err != nil {
+					return nil, fmt.Errorf("storage: load %s.%s: %w", name, colName, err)
+				}
+				c, err := readChunk(br, typ, int(nrows), dict)
+				if err != nil {
+					return nil, fmt.Errorf("storage: load %s.%s: %w", name, colName, err)
+				}
+				if err := t.AddColumn(colName, DecodeChunk(c)); err != nil {
+					return nil, err
+				}
+			default:
+				c, err := readColumn(br, int(nrows), dicts)
+				if err != nil {
+					return nil, fmt.Errorf("storage: load %s.%s: %w", name, colName, err)
+				}
+				if err := t.AddColumn(colName, c); err != nil {
+					return nil, err
+				}
 			}
 		}
 		t.nrows = int(nrows) // tables with zero columns still carry rows
@@ -305,7 +369,16 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 				}
 			}
 		}
-		if segTarget > 0 {
+		switch {
+		case v3seg:
+			// Install the on-disk segments directly, preserving sealed-chunk
+			// encodings (zone maps are recomputed). Slot free lists do not
+			// apply to segmented tables.
+			t.segTarget = int(segTarget)
+			t.installSegmentsLocked(chunks, chunkCounts, t.del)
+			t.del = nil
+			t.free = t.free[:0]
+		case segTarget > 0:
 			// Restore the exact on-disk segmentation: the flat columns
 			// re-chunk along the manifest boundaries and zone maps are
 			// recomputed. Slot free lists do not apply to segmented tables.
@@ -379,12 +452,208 @@ func writeColumnPayload(w *bufio.Writer, c Column, n int) error {
 	return nil
 }
 
-func readColumn(r *bufio.Reader, n int, dicts []*Dict) (Column, error) {
-	tb, err := r.ReadByte()
+// writeChunkPayload writes one chunk as a u8 encoding tag plus payload.
+// Encoded chunks persist their compressed representation directly.
+func writeChunkPayload(w *bufio.Writer, c Column, n int) error {
+	if err := w.WriteByte(byte(ChunkEncoding(c))); err != nil {
+		return err
+	}
+	switch c := c.(type) {
+	case *RLEInt32Col:
+		writeU32(w, uint32(len(c.V)))
+		for _, v := range c.V {
+			writeU32(w, uint32(v))
+		}
+		for _, e := range c.End {
+			writeU32(w, uint32(e))
+		}
+	case *RLEInt64Col:
+		writeU32(w, uint32(len(c.V)))
+		for _, v := range c.V {
+			writeU64(w, uint64(v))
+		}
+		for _, e := range c.End {
+			writeU32(w, uint32(e))
+		}
+	case *RLEDictCol:
+		writeU32(w, uint32(len(c.V)))
+		for _, v := range c.V {
+			writeU32(w, uint32(v))
+		}
+		for _, e := range c.End {
+			writeU32(w, uint32(e))
+		}
+	case *FoRInt32Col:
+		writeU64(w, uint64(c.Base))
+		w.WriteByte(c.Width)
+		writeU32(w, uint32(c.N))
+		writeU32(w, uint32(len(c.Words)))
+		for _, word := range c.Words {
+			writeU64(w, word)
+		}
+	case *FoRInt64Col:
+		writeU64(w, uint64(c.Base))
+		w.WriteByte(c.Width)
+		writeU32(w, uint32(c.N))
+		writeU32(w, uint32(len(c.Words)))
+		for _, word := range c.Words {
+			writeU64(w, word)
+		}
+	default:
+		return writeColumnPayload(w, c, n)
+	}
+	return nil
+}
+
+// readRLEEnds reads and validates cumulative run ends: strictly increasing,
+// last equal to the chunk row count.
+func readRLEEnds(r *bufio.Reader, runs, n int) ([]int32, error) {
+	end := make([]int32, runs)
+	prev := int32(0)
+	for i := range end {
+		x, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if int32(x) <= prev {
+			return nil, fmt.Errorf("storage: load: RLE run ends not increasing")
+		}
+		end[i] = int32(x)
+		prev = end[i]
+	}
+	if runs > 0 && int(end[runs-1]) != n {
+		return nil, fmt.Errorf("storage: load: RLE run ends cover %d rows, want %d", end[runs-1], n)
+	}
+	if runs == 0 && n != 0 {
+		return nil, fmt.Errorf("storage: load: RLE chunk of %d rows has no runs", n)
+	}
+	return end, nil
+}
+
+// readChunk reads one tagged chunk of n rows for a column of the given
+// declared type (dict carries the already-resolved shared dictionary).
+func readChunk(r *bufio.Reader, typ Type, n int, dict *Dict) (Column, error) {
+	tag, err := r.ReadByte()
 	if err != nil {
 		return nil, err
 	}
-	switch Type(tb) {
+	switch Encoding(tag) {
+	case EncPlain:
+		return readPlainPayload(r, typ, n, dict)
+	case EncRLE:
+		runs, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if int(runs) > n {
+			return nil, fmt.Errorf("storage: load: RLE chunk has %d runs over %d rows", runs, n)
+		}
+		switch typ {
+		case TInt32, TDict:
+			vals := make([]int32, runs)
+			for i := range vals {
+				x, err := readU32(r)
+				if err != nil {
+					return nil, err
+				}
+				if typ == TDict && int(x) >= dict.Len() {
+					return nil, fmt.Errorf("storage: code %d out of dictionary range", x)
+				}
+				vals[i] = int32(x)
+			}
+			end, err := readRLEEnds(r, int(runs), n)
+			if err != nil {
+				return nil, err
+			}
+			if typ == TDict {
+				return &RLEDictCol{V: vals, End: end, Dict: dict}, nil
+			}
+			return &RLEInt32Col{V: vals, End: end}, nil
+		case TInt64:
+			vals := make([]int64, runs)
+			for i := range vals {
+				x, err := readU64(r)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = int64(x)
+			}
+			end, err := readRLEEnds(r, int(runs), n)
+			if err != nil {
+				return nil, err
+			}
+			return &RLEInt64Col{V: vals, End: end}, nil
+		default:
+			return nil, fmt.Errorf("storage: load: RLE encoding invalid for type %s", typ)
+		}
+	case EncFoR:
+		if typ != TInt32 && typ != TInt64 {
+			return nil, fmt.Errorf("storage: load: FoR encoding invalid for type %s", typ)
+		}
+		base, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		width, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		cn, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		nwords, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		wantWords := (uint64(cn)*uint64(width) + 63) / 64
+		if width > 64 || int(cn) != n || uint64(nwords) != wantWords {
+			return nil, fmt.Errorf("storage: load: FoR chunk shape invalid (width %d, rows %d/%d, words %d/%d)",
+				width, cn, n, nwords, wantWords)
+		}
+		words := make([]uint64, nwords)
+		for i := range words {
+			if words[i], err = readU64(r); err != nil {
+				return nil, err
+			}
+		}
+		if typ == TInt32 {
+			return &FoRInt32Col{Base: int64(base), Width: width, N: n, Words: words}, nil
+		}
+		return &FoRInt64Col{Base: int64(base), Width: width, N: n, Words: words}, nil
+	default:
+		return nil, fmt.Errorf("storage: load: unknown chunk encoding tag %d", tag)
+	}
+}
+
+// readColumnHeader reads a column's type byte plus, for dict columns, its
+// shared dictionary reference.
+func readColumnHeader(r *bufio.Reader, dicts []*Dict) (Type, *Dict, error) {
+	tb, err := r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	typ := Type(tb)
+	switch typ {
+	case TInt32, TInt64, TFloat64, TString:
+		return typ, nil, nil
+	case TDict:
+		di, err := readU32(r)
+		if err != nil {
+			return 0, nil, err
+		}
+		if int(di) >= len(dicts) {
+			return 0, nil, fmt.Errorf("storage: dictionary index %d out of range", di)
+		}
+		return typ, dicts[di], nil
+	default:
+		return 0, nil, fmt.Errorf("storage: unknown column type byte %d", tb)
+	}
+}
+
+// readPlainPayload reads a flat array of n elements of the given type.
+func readPlainPayload(r *bufio.Reader, typ Type, n int, dict *Dict) (Column, error) {
+	switch typ {
 	case TInt32:
 		v := make([]int32, n)
 		for i := range v {
@@ -426,29 +695,31 @@ func readColumn(r *bufio.Reader, n int, dicts []*Dict) (Column, error) {
 		}
 		return NewStrCol(v), nil
 	case TDict:
-		di, err := readU32(r)
-		if err != nil {
-			return nil, err
-		}
-		if int(di) >= len(dicts) {
-			return nil, fmt.Errorf("storage: dictionary index %d out of range", di)
-		}
 		codes := make([]int32, n)
-		d := dicts[di]
 		for i := range codes {
 			x, err := readU32(r)
 			if err != nil {
 				return nil, err
 			}
-			if int(x) >= d.Len() {
+			if int(x) >= dict.Len() {
 				return nil, fmt.Errorf("storage: code %d out of dictionary range", x)
 			}
 			codes[i] = int32(x)
 		}
-		return &DictCol{Codes: codes, Dict: d}, nil
+		return &DictCol{Codes: codes, Dict: dict}, nil
 	default:
-		return nil, fmt.Errorf("storage: unknown column type byte %d", tb)
+		return nil, fmt.Errorf("storage: unknown column type %s", typ)
 	}
+}
+
+// readColumn reads a v1/v2 column record: type byte, optional dictionary
+// index, then a flat payload of n elements.
+func readColumn(r *bufio.Reader, n int, dicts []*Dict) (Column, error) {
+	typ, dict, err := readColumnHeader(r, dicts)
+	if err != nil {
+		return nil, err
+	}
+	return readPlainPayload(r, typ, n, dict)
 }
 
 func writeU32(w *bufio.Writer, v uint32) {

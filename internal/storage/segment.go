@@ -103,10 +103,37 @@ func zoneOfChunk(c Column, n int) (Zone, bool) {
 		for _, v := range c.Codes[:n] {
 			z.widenInt(int64(v))
 		}
+	case *RLEInt32Col:
+		zoneOfRuns(&z, n, c.End, func(ri int) int64 { return int64(c.V[ri]) })
+	case *RLEInt64Col:
+		zoneOfRuns(&z, n, c.End, func(ri int) int64 { return c.V[ri] })
+	case *RLEDictCol:
+		zoneOfRuns(&z, n, c.End, func(ri int) int64 { return int64(c.V[ri]) })
+	case *FoRInt32Col:
+		for i := 0; i < n && i < c.N; i++ {
+			z.widenInt(int64(c.At(i)))
+		}
+	case *FoRInt64Col:
+		for i := 0; i < n && i < c.N; i++ {
+			z.widenInt(c.At(i))
+		}
 	default:
 		return Zone{}, false
 	}
 	return z, true
+}
+
+// zoneOfRuns widens z over the run values of an RLE chunk that cover the
+// first n rows.
+func zoneOfRuns(z *Zone, n int, end []int32, val func(ri int) int64) {
+	prev := int32(0)
+	for ri := range end {
+		if int(prev) >= n {
+			break
+		}
+		z.widenInt(val(ri))
+		prev = end[ri]
+	}
 }
 
 // Segment is one horizontal chunk of a segmented table: a per-column array
@@ -214,6 +241,7 @@ func (t *Table) sealTailLocked() {
 		}
 	}
 	tail.sealed = true
+	t.encodeSegmentLocked(tail)
 	t.segs = append(t.segs, tail)
 	nt := t.newSegment(t.segTarget)
 	nt.base = tail.base + tail.n
@@ -285,13 +313,13 @@ func (t *Table) flattenLocked() (map[string]Column, *Bitmap) {
 		case TInt32:
 			v := make([]int32, 0, t.nrows)
 			for _, s := range t.allSegsLocked() {
-				v = append(v, s.cols[name].(*Int32Col).V[:s.n]...)
+				v = append(v, int32ChunkValues(s.cols[name], s.n)...)
 			}
 			out[name] = &Int32Col{V: v}
 		case TInt64:
 			v := make([]int64, 0, t.nrows)
 			for _, s := range t.allSegsLocked() {
-				v = append(v, s.cols[name].(*Int64Col).V[:s.n]...)
+				v = append(v, int64ChunkValues(s.cols[name], s.n)...)
 			}
 			out[name] = &Int64Col{V: v}
 		case TFloat64:
@@ -309,7 +337,7 @@ func (t *Table) flattenLocked() (map[string]Column, *Bitmap) {
 		case TDict:
 			v := make([]int32, 0, t.nrows)
 			for _, s := range t.allSegsLocked() {
-				v = append(v, s.cols[name].(*DictCol).Codes[:s.n]...)
+				v = append(v, dictChunkCodes(s.cols[name], s.n)...)
 			}
 			out[name] = &DictCol{Codes: v, Dict: t.colDicts[name]}
 		}
@@ -390,6 +418,7 @@ func (t *Table) rebuildSegmentsLocked(flat map[string]Column, del *Bitmap, bound
 			}
 		}
 		s.sealed = true
+		t.encodeSegmentLocked(s)
 		t.segs = append(t.segs, s)
 		at += rows
 	}
@@ -402,6 +431,59 @@ func (t *Table) rebuildSegmentsLocked(flat map[string]Column, del *Bitmap, bound
 		}
 	}
 	t.tail = tail
+}
+
+// installSegmentsLocked installs loaded per-column chunks as the table's
+// segment list, preserving on-disk encodings for sealed chunks (the last
+// count is the tail, whose chunks are decoded and re-allocated at full
+// target capacity so appends stay stable under snapshots). del, when
+// non-nil, is a global deletion bitmap split per segment. Loading any
+// encoded chunk turns sealed encodings on so later seals stay consistent.
+// Caller holds t.mu; t.segTarget must be set.
+func (t *Table) installSegmentsLocked(chunks map[string][]Column, counts []int, del *Bitmap) {
+	t.segs = t.segs[:0]
+	at := 0
+	for si, rows := range counts {
+		sealed := si < len(counts)-1
+		s := &Segment{
+			id:     t.nextSegID,
+			base:   at,
+			n:      rows,
+			cap:    max(rows, t.segTarget),
+			sealed: sealed,
+			cols:   make(map[string]Column, len(t.names)),
+			zones:  make(map[string]Zone, len(t.names)),
+		}
+		t.nextSegID++
+		for _, name := range t.names {
+			c := chunks[name][si]
+			if !sealed {
+				c = cloneChunk(c, t.segTarget)
+			} else if ChunkEncoding(c) != EncPlain {
+				t.encodeSealed = true
+			}
+			s.cols[name] = c
+			if z, ok := zoneOfChunk(c, rows); ok {
+				s.zones[name] = z
+			}
+		}
+		if del != nil {
+			for i := 0; i < rows; i++ {
+				if del.Get(at + i) {
+					if s.del == nil {
+						s.del = NewBitmap(s.cap)
+					}
+					s.del.Set(i)
+				}
+			}
+		}
+		if sealed {
+			t.segs = append(t.segs, s)
+		} else {
+			t.tail = s
+		}
+		at += rows
+	}
 }
 
 func max(a, b int) int {
@@ -636,8 +718,13 @@ func (t *Table) updateSegmentedLocked(i int, col string, v any) error {
 }
 
 // cloneChunk deep-copies a chunk preserving row capacity, so the tail keeps
-// absorbing in-place appends after a copy-on-write.
+// absorbing in-place appends after a copy-on-write. Encoded chunks decode
+// to a plain deep copy: the clone exists to be written, and encoded
+// representations are sealed-only.
 func cloneChunk(c Column, capacity int) Column {
+	if ChunkEncoding(c) != EncPlain {
+		c = DecodeChunk(c)
+	}
 	switch c := c.(type) {
 	case *Int32Col:
 		v := make([]int32, len(c.V), max(capacity, len(c.V)))

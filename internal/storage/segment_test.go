@@ -524,3 +524,175 @@ func TestConcurrentAppendConsolidateSnapshots(t *testing.T) {
 		t.Fatalf("final sum %d != live %d", sum, tab.NumLive())
 	}
 }
+
+// TestConcurrentAppendConsolidateSnapshotsReordering is the PR 8 variant
+// of the race satellite: sort keys and sealed-chunk encodings are on, so
+// Consolidate does attribute reordering and re-encodes, while writers keep
+// appending and readers hold pinned snapshots. Reordering permutes row
+// positions, so readers verify permutation-invariant facts — the live sum
+// and the value multiset — plus the sealed-chunk immutability guarantee:
+// a chunk visible through a pinned snapshot never changes under the
+// reader's feet, whatever its encoding.
+func TestConcurrentAppendConsolidateSnapshotsReordering(t *testing.T) {
+	db := NewDatabase()
+	tab := segTestTable(0)
+	if err := tab.SetSegmentTarget(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SetSortKeys("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SetSealedEncodings(true); err != nil {
+		t.Fatal(err)
+	}
+	db.MustAdd(tab)
+
+	const (
+		writers  = 2
+		readers  = 4
+		perwrite = 400
+	)
+	var writeWG, readWG sync.WaitGroup
+	var inserted, reordered atomic.Int64
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perwrite; i++ {
+				if _, err := tab.Insert(map[string]any{"v": int64(1), "k": int32(i % 7)}); err != nil {
+					t.Error(err)
+					return
+				}
+				inserted.Add(1)
+				if w == 0 && i%61 == 17 {
+					// Reordering consolidation: clusters by k and re-seals.
+					// Pinned tables refuse, which is fine (retried later).
+					if _, err := Consolidate(db, tab); err == nil {
+						reordered.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := tab.Snapshot()
+				// Permutation-invariant consistency of the pinned view: the
+				// all-ones v column sums to the live count whatever order
+				// consolidation left the rows in, and every chunk answers
+				// for all visible rows regardless of encoding.
+				var sum, live int64
+				type pinned struct {
+					vc, kc Column
+					n      int
+					vvals  []int64
+					kvals  []int64
+				}
+				var sealedPins []pinned
+				for _, sv := range snap.SegViews() {
+					vc := sv.Cols["v"]
+					kc := sv.Cols["k"]
+					if vc.Len() < sv.N || kc.Len() < sv.N {
+						t.Errorf("chunk len %d/%d < visible %d", vc.Len(), kc.Len(), sv.N)
+					}
+					for i := 0; i < sv.N; i++ {
+						if sv.Del != nil && sv.Del.Get(i) {
+							continue
+						}
+						x, ok := Int64At(vc, i)
+						if !ok {
+							t.Errorf("unreadable v chunk %T", vc)
+						}
+						sum += x
+						live++
+						if k, _ := Int64At(kc, i); k < 0 || k > 6 {
+							t.Errorf("k value %d out of domain", k)
+						}
+					}
+					if sv.Sealed {
+						vvals := make([]int64, sv.N)
+						kvals := make([]int64, sv.N)
+						for i := 0; i < sv.N; i++ {
+							vvals[i], _ = Int64At(vc, i)
+							kvals[i], _ = Int64At(kc, i)
+						}
+						sealedPins = append(sealedPins, pinned{vc: vc, kc: kc, n: sv.N, vvals: vvals, kvals: kvals})
+					}
+				}
+				if sum != live {
+					t.Errorf("snapshot sum %d != live rows %d", sum, live)
+				}
+				// Re-read the pinned sealed chunks: consolidation rewrites
+				// via copy-on-write, so the headers a snapshot pinned must
+				// still decode to the same values.
+				for _, p := range sealedPins {
+					for i := 0; i < p.n; i++ {
+						x, _ := Int64At(p.vc, i)
+						y, _ := Int64At(p.kc, i)
+						if x != p.vvals[i] || y != p.kvals[i] {
+							t.Errorf("pinned sealed chunk mutated in place")
+						}
+					}
+				}
+				snap.Release()
+			}
+		}()
+	}
+
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	if tab.Pins() != 0 {
+		t.Fatalf("leaked pins: %d", tab.Pins())
+	}
+	if inserted.Load() != int64(writers*perwrite) {
+		t.Fatalf("inserted %d rows, want %d", inserted.Load(), writers*perwrite)
+	}
+	if err := tab.ValidateAIR(); err != nil {
+		t.Fatal(err)
+	}
+	// The run finished with encodings live: constant-run v chunks compress,
+	// and at least one chunk sealed encoded (otherwise the test exercised
+	// nothing).
+	if comp := tab.Compression(); comp.EncodedChunks == 0 {
+		t.Errorf("no encoded chunks after run: %+v", comp)
+	}
+	// Final consolidation clusters fully; afterwards k is non-decreasing
+	// across the sealed fact rows (the reordering contract).
+	if _, err := Consolidate(db, tab); err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	var sum int64
+	for _, sv := range tab.SegViews() {
+		kc := sv.Cols["k"]
+		vc := sv.Cols["v"]
+		for i := 0; i < sv.N; i++ {
+			if sv.Del != nil && sv.Del.Get(i) {
+				continue
+			}
+			k, _ := Int64At(kc, i)
+			if k < prev {
+				t.Fatalf("sort key not clustered after final consolidate: %d after %d", k, prev)
+			}
+			prev = k
+			x, _ := Int64At(vc, i)
+			sum += x
+		}
+	}
+	if sum != int64(tab.NumLive()) {
+		t.Fatalf("final sum %d != live %d", sum, tab.NumLive())
+	}
+}

@@ -41,6 +41,12 @@ type Table struct {
 	tail      *Segment
 	nextSegID uint64
 
+	// Sealed-segment physical tuning (encoding.go, consolidate.go):
+	// sortKeys orders fact rows at consolidation time; encodeSealed
+	// compresses sealed chunks (RLE / frame-of-reference) at seal time.
+	sortKeys     []string
+	encodeSealed bool
+
 	// viewSegs, when non-nil, marks this table as a frozen snapshot view
 	// of a segmented table: reads go through these captured segment views
 	// and the table must not be mutated.
@@ -265,11 +271,11 @@ func (t *Table) ValidateAIR() error {
 func (t *Table) forEachInt32(col string, fn func(chunk []int32, base int) error) error {
 	if t.viewSegs != nil || t.Segmented() {
 		for _, sv := range t.segViewsUnsync() {
-			c, ok := sv.Cols[col].(*Int32Col)
-			if !ok {
+			c := sv.Cols[col]
+			if c == nil || c.Type() != TInt32 {
 				return fmt.Errorf("storage: table %s: column %s is not int32", t.Name, col)
 			}
-			if err := fn(c.V[:sv.N], sv.Base); err != nil {
+			if err := fn(int32ChunkValues(c, sv.N), sv.Base); err != nil {
 				return err
 			}
 		}
@@ -322,8 +328,90 @@ func colMemBytes(c Column, seen map[*Dict]bool) int64 {
 				b += int64(len(s)) + 16
 			}
 		}
+	case *RLEDictCol:
+		b += int64(encodedBytes(c, c.Len()))
+		if !seen[c.Dict] {
+			seen[c.Dict] = true
+			for _, s := range c.Dict.Values() {
+				b += int64(len(s)) + 16
+			}
+		}
+	case *RLEInt32Col, *RLEInt64Col, *FoRInt32Col, *FoRInt64Col:
+		b += int64(encodedBytes(c, c.Len()))
 	}
 	return b
+}
+
+// SetSortKeys configures the columns Consolidate orders fact rows by before
+// re-sealing segments (attribute-value reordering: clustering tightens zone
+// maps and creates the runs RLE needs). Keys must be integer-valued —
+// int32/int64 values, AIR foreign keys, or dictionary codes; strings and
+// floats are rejected. Passing no columns clears the keys.
+func (t *Table) SetSortKeys(cols ...string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range cols {
+		typ, ok := t.colTypes[c]
+		if !ok {
+			return fmt.Errorf("storage: table %s: no sort-key column %s", t.Name, c)
+		}
+		if typ == TString || typ == TFloat64 {
+			return fmt.Errorf("storage: table %s: sort-key column %s has non-integer type %s", t.Name, c, typ)
+		}
+	}
+	t.sortKeys = append([]string(nil), cols...)
+	return nil
+}
+
+// SortKeys returns the configured consolidation sort keys.
+func (t *Table) SortKeys() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.sortKeys...)
+}
+
+// SetSealedEncodings toggles compressed sealed-chunk encodings. Turning it
+// on re-encodes existing sealed segments in place (and every segment sealed
+// afterwards); turning it off decodes them back to plain arrays. Chunk
+// replacement bumps segment epochs so cached per-segment plan bindings
+// rebind; it fails while snapshots pin the table because pinned readers
+// hold the current chunk headers.
+func (t *Table) SetSealedEncodings(on bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.encodeSealed == on {
+		return nil
+	}
+	if t.pins > 0 {
+		return fmt.Errorf("storage: table %s: cannot change sealed encodings while pinned by %d snapshot(s)", t.Name, t.pins)
+	}
+	t.encodeSealed = on
+	for _, s := range t.segs {
+		changed := false
+		for name, c := range s.cols {
+			if on {
+				if ec, ok := EncodeChunk(c, s.n); ok {
+					s.cols[name] = ec
+					changed = true
+				}
+			} else if ChunkEncoding(c) != EncPlain {
+				s.cols[name] = cloneChunk(c, s.cap)
+				changed = true
+			}
+		}
+		if changed {
+			s.epoch++
+		}
+	}
+	t.version++
+	return nil
+}
+
+// SealedEncodings reports whether sealed chunks are encoded at seal time.
+func (t *Table) SealedEncodings() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.encodeSealed
 }
 
 // Database is a catalog of tables; it exists so that operations that must see
