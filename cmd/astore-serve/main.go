@@ -53,6 +53,8 @@ func main() {
 			"comma-separated fact columns to cluster by at consolidation (keys a table lacks are ignored)")
 		encode = flag.Bool("encode-sealed", false,
 			"compress sealed-segment chunks (RLE/FoR) and serve them through per-encoding decode kernels")
+		aggCache = flag.Int64("agg-cache", 0,
+			"segment aggregate cache budget in bytes (0 = default 64 MB, negative = disabled)")
 
 		maxInFlight = flag.Int("max-inflight", 4, "max concurrently executing queries")
 		maxQueue    = flag.Int("max-queue", 0, "max queued queries (0 = 2*max-inflight)")
@@ -70,7 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := core.Options{Workers: *workers, BatchRows: *batchRows, SegmentRows: *segRows, SealedEncodings: *encode}
+	opt := core.Options{Workers: *workers, BatchRows: *batchRows, SegmentRows: *segRows, SealedEncodings: *encode, AggCacheBytes: *aggCache}
 	for _, k := range strings.Split(*sortKeys, ",") {
 		if k = strings.TrimSpace(k); k != "" {
 			opt.SortKeys = append(opt.SortKeys, k)

@@ -13,7 +13,7 @@ func tinyCfg() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablation", "compress", "crossover", "fig1", "fig10", "fig8", "fig9",
-		"ingest", "table2", "table3", "table4", "table5", "trace"}
+		"ingest", "repeat", "table2", "table3", "table4", "table5", "trace"}
 	exps := Experiments()
 	if len(exps) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(exps), len(want))

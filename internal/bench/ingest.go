@@ -40,22 +40,27 @@ func protoRow(t *storage.Table) (map[string]any, error) {
 	if t.NumRows() == 0 {
 		return nil, fmt.Errorf("bench: table %s is empty", t.Name)
 	}
+	return rowAt(t, 0), nil
+}
+
+// rowAt extracts row i of a flat table as an Insert value map.
+func rowAt(t *storage.Table, i int) map[string]any {
 	vals := make(map[string]any, len(t.ColumnNames()))
 	for _, name := range t.ColumnNames() {
 		c := t.Column(name)
 		switch c.(type) {
 		case *storage.Int32Col, *storage.Int64Col:
-			v, _ := storage.Int64At(c, 0)
+			v, _ := storage.Int64At(c, i)
 			vals[name] = v
 		case *storage.Float64Col:
-			v, _ := storage.Float64At(c, 0)
+			v, _ := storage.Float64At(c, i)
 			vals[name] = v
 		default:
-			v, _ := storage.StringAt(c, 0)
+			v, _ := storage.StringAt(c, i)
 			vals[name] = v
 		}
 	}
-	return vals, nil
+	return vals
 }
 
 // ingestSetup measures one catalog layout: prepared-query latency while

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"astore/internal/expr"
+	"astore/internal/query"
+)
+
+// warmableQuery groups by a dimension attribute and carries one aggregate
+// of every mergeable kind, so a cached partial exercises the full merge
+// matrix. All measure values are small integers: sums are exact in float64
+// and results compare with zero tolerance.
+func warmableQuery() *query.Query {
+	return query.New("warm").
+		GroupByCols("d_year").
+		Agg(expr.CountStar("cnt"),
+			expr.SumOf(expr.C("f_val"), "sum"),
+			expr.MinOf(expr.C("f_val"), "min"),
+			expr.MaxOf(expr.C("f_val"), "max"),
+			expr.AvgOf(expr.C("f_val"), "avg")).
+		OrderAsc("d_year")
+}
+
+// execFresh acquires a view, checks plan freshness (recompiling if the
+// mutation invalidated it), executes, and returns the result plus per-run
+// stats.
+func execFresh(t *testing.T, eng *Engine, c **Compiled, q *query.Query) (*query.Result, Stats) {
+	t.Helper()
+	v, err := eng.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release()
+	if *c == nil || !(*c).FreshIn(v) {
+		nc, err := v.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*c = nc
+	}
+	var stats Stats
+	res, err := eng.Exec(t.Context(), v, *c, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, stats
+}
+
+// TestAggCacheWarmMatchesCold: repeated executions of one compiled plan
+// must return the cold result exactly — the first run installs per-segment
+// partials (all misses), subsequent runs merge them (all hits over sealed
+// segments) — on both the array and the hash aggregation backend.
+func TestAggCacheWarmMatchesCold(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		variant Variant
+	}{
+		{"array backend", Auto},
+		{"hash backend", ColWisePF}, // columnar but always hash-aggregated
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fact := clusteredFact(t, 4000, 64)
+			if err := fact.SetSegmentTarget(500); err != nil {
+				t.Fatal(err)
+			}
+			eng, err := New(fact, Options{Variant: tc.variant, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := warmableQuery()
+			var c *Compiled
+			cold, coldStats := execFresh(t, eng, &c, q)
+			if coldStats.AggCacheMisses == 0 || coldStats.AggCacheHits != 0 {
+				t.Fatalf("cold run: hits %d misses %d, want 0 hits and > 0 misses",
+					coldStats.AggCacheHits, coldStats.AggCacheMisses)
+			}
+			for i := 0; i < 3; i++ {
+				warm, ws := execFresh(t, eng, &c, q)
+				if err := query.Diff(cold, warm, 0); err != nil {
+					t.Fatalf("warm run %d differs from cold: %v", i, err)
+				}
+				if ws.AggCacheMisses != 0 || ws.AggCacheHits != coldStats.AggCacheMisses {
+					t.Fatalf("warm run %d: hits %d misses %d, want %d hits and 0 misses",
+						i, ws.AggCacheHits, ws.AggCacheMisses, coldStats.AggCacheMisses)
+				}
+				if ws.RowsScanned >= coldStats.RowsScanned {
+					t.Fatalf("warm run scanned %d rows, cold scanned %d — cache did not absorb sealed segments",
+						ws.RowsScanned, coldStats.RowsScanned)
+				}
+			}
+		})
+	}
+}
+
+// TestAggCacheDisabled: a negative budget turns the cache off — every run
+// scans everything and the counters stay at zero.
+func TestAggCacheDisabled(t *testing.T) {
+	fact := clusteredFact(t, 2000, 64)
+	if err := fact.SetSegmentTarget(250); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(fact, Options{AggCacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := warmableQuery()
+	var c *Compiled
+	first, _ := execFresh(t, eng, &c, q)
+	second, st := execFresh(t, eng, &c, q)
+	if err := query.Diff(first, second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.AggCacheHits != 0 || st.AggCacheMisses != 0 {
+		t.Fatalf("disabled cache recorded hits %d misses %d", st.AggCacheHits, st.AggCacheMisses)
+	}
+	if cs := eng.CacheStats(); cs.AggEntries != 0 || cs.AggBytes != 0 {
+		t.Fatalf("disabled cache holds %d entries / %d bytes", cs.AggEntries, cs.AggBytes)
+	}
+}
+
+// TestAggCacheUpdateInvalidation: a copy-on-write update of a sealed row
+// bumps the segment's epoch; the next execution must recompute that segment
+// (a miss) and return exactly what a cache-free engine computes over the
+// mutated table.
+func TestAggCacheUpdateInvalidation(t *testing.T) {
+	fact := clusteredFact(t, 3000, 64)
+	if err := fact.SetSegmentTarget(300); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(fact, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := warmableQuery()
+	var c *Compiled
+	execFresh(t, eng, &c, q) // cold: install partials
+	before, _ := execFresh(t, eng, &c, q)
+
+	// Flip a sealed row's measure to a new in-range value: the group sums
+	// must move, so serving a stale partial is observable.
+	if err := fact.Update(100, "f_val", int64(96)); err != nil {
+		t.Fatal(err)
+	}
+	after, st := execFresh(t, eng, &c, q)
+	if st.AggCacheMisses == 0 {
+		t.Fatal("post-update run recorded no misses: epoch bump did not invalidate the cached partial")
+	}
+	if err := query.Diff(before, after, 0); err == nil {
+		t.Fatal("update moved no aggregate — fixture no longer observes the mutation")
+	}
+	oracle, err := New(fact, Options{AggCacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.Diff(want, after, 0); err != nil {
+		t.Fatalf("post-update warm result differs from cache-free oracle: %v", err)
+	}
+}
+
+// TestAggCacheDeleteInvalidation: deletes mutate a sealed segment's bitmap
+// in place without an epoch bump, so the cache key must include the
+// per-segment delete generation — a stale partial would keep counting the
+// deleted rows.
+func TestAggCacheDeleteInvalidation(t *testing.T) {
+	fact := clusteredFact(t, 3000, 64)
+	if err := fact.SetSegmentTarget(300); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(fact, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := warmableQuery()
+	var c *Compiled
+	execFresh(t, eng, &c, q)
+	before, _ := execFresh(t, eng, &c, q)
+
+	for _, row := range []int{10, 11, 450, 900} {
+		if err := fact.Delete(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, st := execFresh(t, eng, &c, q)
+	if st.AggCacheMisses == 0 {
+		t.Fatal("post-delete run recorded no misses: delete generation is not part of the cache key")
+	}
+	if err := query.Diff(before, after, 0); err == nil {
+		t.Fatal("deletes moved no aggregate — fixture no longer observes the mutation")
+	}
+	oracle, err := New(fact, Options{AggCacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.Diff(want, after, 0); err != nil {
+		t.Fatalf("post-delete warm result differs from cache-free oracle: %v", err)
+	}
+
+	// Fully delete one sealed segment: its re-captured partial is empty and
+	// the result must still match the cache-free oracle.
+	for row := 600; row < 900; row++ {
+		if err := fact.Delete(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	execFresh(t, eng, &c, q) // re-install
+	warm, _ := execFresh(t, eng, &c, q)
+	want2, err := oracle.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.Diff(want2, warm, 0); err != nil {
+		t.Fatalf("fully-deleted segment: warm result differs from oracle: %v", err)
+	}
+}
+
+// TestAggCacheEvictionBudget: a budget far smaller than the working set
+// must evict instead of growing, keep byte accounting within budget, and
+// never change results.
+func TestAggCacheEvictionBudget(t *testing.T) {
+	fact := clusteredFact(t, 4000, 64)
+	if err := fact.SetSegmentTarget(250); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 2048 // a handful of partials at most
+	eng, err := New(fact, Options{AggCacheBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := warmableQuery()
+	var c *Compiled
+	first, _ := execFresh(t, eng, &c, q)
+	for i := 0; i < 3; i++ {
+		res, _ := execFresh(t, eng, &c, q)
+		if err := query.Diff(first, res, 0); err != nil {
+			t.Fatalf("run %d under eviction pressure differs: %v", i, err)
+		}
+	}
+	cs := eng.CacheStats()
+	if cs.AggBytes > budget {
+		t.Fatalf("cache holds %d bytes, budget %d", cs.AggBytes, budget)
+	}
+	if cs.AggEvictions == 0 {
+		t.Fatalf("no evictions under a %d-byte budget (bytes %d, entries %d)", budget, cs.AggBytes, cs.AggEntries)
+	}
+}
+
+// TestAggCacheTailRows: rows in the mutable tail are always computed live
+// and reported as TailRows; appends grow the tail without invalidating the
+// sealed segments' cached partials.
+func TestAggCacheTailRows(t *testing.T) {
+	fact := clusteredFact(t, 2000, 64)
+	if err := fact.SetSegmentTarget(300); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(fact, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := warmableQuery()
+	var c *Compiled
+	_, cold := execFresh(t, eng, &c, q)
+	if cold.TailRows == 0 {
+		t.Fatal("fixture has no mutable tail")
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := fact.Insert(map[string]any{"f_seq": 500, "f_dk": 0, "f_val": int64(3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, warm := execFresh(t, eng, &c, q)
+	if warm.TailRows != cold.TailRows+50 {
+		t.Fatalf("TailRows = %d after 50 appends, want %d", warm.TailRows, cold.TailRows+50)
+	}
+	if warm.AggCacheMisses != 0 {
+		t.Fatalf("appends invalidated %d sealed partials", warm.AggCacheMisses)
+	}
+	oracle, err := New(fact, Options{AggCacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, _ := execFresh(t, eng, &c, q)
+	if err := query.Diff(want, warmRes, 0); err != nil {
+		t.Fatalf("warm result with grown tail differs from oracle: %v", err)
+	}
+}
+
+// TestAggCacheExplain: the plan rendering states whether the cache applies
+// and with what budget.
+func TestAggCacheExplain(t *testing.T) {
+	fact := clusteredFact(t, 1000, 64)
+	if err := fact.SetSegmentTarget(200); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(fact, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Explain(warmableQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "segment agg cache: enabled, budget 64 MB") {
+		t.Fatalf("Explain missing enabled cache line:\n%s", out)
+	}
+	off, err := New(fact, Options{AggCacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = off.Explain(warmableQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "segment agg cache: disabled") {
+		t.Fatalf("Explain missing disabled cache line:\n%s", out)
+	}
+	rw, err := New(fact, Options{Variant: RowWise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = rw.Explain(warmableQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "segment agg cache: disabled") {
+		t.Fatalf("row-wise Explain must report the cache disabled:\n%s", out)
+	}
+}

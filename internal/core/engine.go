@@ -28,6 +28,14 @@ type Engine struct {
 	// touched cells is far cheaper than re-allocating and re-zeroing.
 	arrMu   sync.Mutex
 	arrPool map[string][]*agg.ArrayAgg
+
+	// aggCache holds per-(plan, segment) partial aggregates of sealed
+	// segments (Options.AggCacheBytes; nil when disabled). bindCache holds
+	// sealed-segment bindings — the decode buffers and probe verdicts that
+	// previously lived in unbounded per-plan maps. Both are byte-accounted
+	// LRU, shared by every plan compiled on this engine.
+	aggCache  *memCache
+	bindCache *memCache
 }
 
 // arrSig keys the aggregation-array pool by shape.
@@ -70,11 +78,14 @@ func New(root *storage.Table, opt Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	opt = opt.withDefaults()
 	return &Engine{
-		root:    root,
-		graph:   g,
-		opt:     opt.withDefaults(),
-		arrPool: make(map[string][]*agg.ArrayAgg),
+		root:      root,
+		graph:     g,
+		opt:       opt,
+		arrPool:   make(map[string][]*agg.ArrayAgg),
+		aggCache:  newMemCache(opt.AggCacheBytes), // nil (disabled) when negative
+		bindCache: newMemCache(defaultBindCacheBytes),
 	}, nil
 }
 
@@ -163,6 +174,8 @@ func recordExecSpans(tr *obs.Trace, parent obs.SpanID, t0 time.Time, st *Stats) 
 	}
 	prune := add(obs.StagePrune, st.PruneNS)
 	tr.SetSegments(prune, st.SegmentsTotal, st.SegmentsPruned)
+	cache := add(obs.StageCache, st.CacheNS)
+	tr.SetAggCache(cache, st.AggCacheHits, st.AggCacheMisses, st.TailRows)
 	add(obs.StageBind, st.BindNS)
 	scan := add(obs.StageScan, st.ScanNS)
 	tr.SetRows(scan, st.RowsScanned, st.RowsSelected)

@@ -28,14 +28,20 @@ type runState struct {
 // a morsel never straddles segments and zone-map pruning drops whole
 // segments before any morsel is enqueued.
 type morsel struct {
-	si     int // index into the execution's kept-segment list
-	lo, hi int // local row range within the segment
+	si     int  // index into the execution's kept-segment list
+	lo, hi int  // local row range within the segment
+	whole  bool // whole-segment unit: capture + install its partial
 }
 
-// execSeg is one segment admitted to the scan, with its bound state.
+// execSeg is one segment admitted to the scan, with its bound state. A
+// sealed segment missing from the aggregate cache carries install=true: it
+// is scanned as one whole-segment unit so its partial can be captured and
+// installed under key.
 type execSeg struct {
-	sv *storage.SegView
-	st *segState
+	sv      *storage.SegView
+	st      *segState
+	install bool
+	key     aggKey
 }
 
 // makeSpans splits [0, n) into at most count near-equal spans; it remains
@@ -74,6 +80,7 @@ type partial struct {
 
 	scanNS, aggNS     int64
 	scanned, selected int64
+	mergeErr          error // first in-worker merge failure (shape mismatch)
 
 	// Reused per-morsel buffers.
 	sel   []int32
@@ -96,15 +103,30 @@ func (pl *plan) newPartial() (*partial, error) {
 	return p, nil
 }
 
+// aggCacheable reports whether this plan's executions go through the
+// per-segment aggregate cache: columnar variants only (the row-wise
+// baselines exist to measure the uncached scan) and only when the engine's
+// cache is enabled.
+func (pl *plan) aggCacheable() bool {
+	return !pl.variant.rowWise() && pl.eng.aggCache.enabled()
+}
+
 // admitSegments applies zone-map pruning over the root's segment views: a
 // segment is skipped when any filter proves, from the segment's min/max
 // zones, that no row can match. Pruning decisions are per segment and per
-// predicate, before any row work (including the row-wise variants). The
-// surviving segments are bound (cached bindings for sealed segments).
-func (pl *plan) admitSegments(segs []storage.SegView, rs *runState) ([]execSeg, error) {
+// predicate, before any row work (including the row-wise variants).
+//
+// Surviving sealed segments are then looked up in the engine's aggregate
+// cache: a hit returns the stored partial (second return value) and skips
+// binding and scanning entirely; a miss is bound and marked install so the
+// scan captures its partial. Tail and flat pseudo-segments always bind and
+// scan live.
+func (pl *plan) admitSegments(segs []storage.SegView, rs *runState) ([]execSeg, []*agg.Partial, error) {
 	admitT0 := time.Now()
-	var bindNS int64
+	var bindNS, cacheNS int64
+	useCache := pl.aggCacheable()
 	kept := make([]execSeg, 0, len(segs))
+	var hits []*agg.Partial
 	rs.stats.SegmentsTotal += len(segs)
 	for i := range segs {
 		sv := &segs[i]
@@ -127,49 +149,40 @@ func (pl *plan) admitSegments(segs []storage.SegView, rs *runState) ([]execSeg, 
 			rs.stats.SegmentsPruned++
 			continue
 		}
+		es := execSeg{sv: sv}
+		if useCache && sv.Seg != nil && sv.Sealed {
+			cacheT0 := time.Now()
+			es.key = aggKey{plan: pl.id, seg: sv.Seg, epoch: sv.Epoch, delGen: sv.DelGen}
+			v, ok := pl.eng.aggCache.get(es.key)
+			cacheNS += time.Since(cacheT0).Nanoseconds()
+			if ok {
+				hits = append(hits, v.(*agg.Partial))
+				rs.stats.AggCacheHits++
+				continue
+			}
+			rs.stats.AggCacheMisses++
+			es.install = true
+		} else if sv.Seg == nil || !sv.Sealed {
+			rs.stats.TailRows += int64(sv.N)
+		}
 		bindT0 := time.Now()
 		st, err := pl.segStateFor(sv)
 		bindNS += time.Since(bindT0).Nanoseconds()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if st.encoded {
 			rs.stats.EncodedSegments++
 		}
-		kept = append(kept, execSeg{sv: sv, st: st})
+		es.st = st
+		kept = append(kept, es)
 	}
-	pl.pruneSegCache(segs)
 	rs.stats.BindNS += bindNS
-	if prune := time.Since(admitT0).Nanoseconds() - bindNS; prune > 0 {
+	rs.stats.CacheNS += cacheNS
+	if prune := time.Since(admitT0).Nanoseconds() - bindNS - cacheNS; prune > 0 {
 		rs.stats.PruneNS += prune
 	}
-	return kept, nil
-}
-
-// pruneSegCache bounds the sealed-segment binding cache: entries whose
-// (segment, epoch) no longer appears in the current execution's view are
-// stale — the segment was copy-on-write-updated, rewritten by
-// consolidation, or discarded entirely — and would otherwise pin their
-// replaced column arrays for the life of the cached plan. Eviction only
-// runs when the cache outgrows the live segment count, so steady-state
-// executions pay one map-length check.
-func (pl *plan) pruneSegCache(segs []storage.SegView) {
-	pl.segMu.Lock()
-	defer pl.segMu.Unlock()
-	if len(pl.segCache) <= len(segs)+16 {
-		return
-	}
-	live := make(map[segKey]bool, len(segs))
-	for i := range segs {
-		if segs[i].Seg != nil {
-			live[segKey{seg: segs[i].Seg, epoch: segs[i].Epoch}] = true
-		}
-	}
-	for key := range pl.segCache {
-		if !live[key] {
-			delete(pl.segCache, key)
-		}
-	}
+	return kept, hits, nil
 }
 
 // morselCount returns the number of morsels for the scan: enough for the
@@ -216,18 +229,116 @@ func (pl *plan) makeMorsels(kept []execSeg) []morsel {
 
 // runColumnar executes the plan with the vector-based column-wise scan
 // (§4.1), in parallel when Workers > 1, over the given root segment views.
+//
+// Segment admission splits the view into three classes: aggregate-cache
+// hits contribute their stored partials without any scan; sealed misses
+// are scanned as whole-segment units so their partials can be captured and
+// installed; tail and flat segments go through the regular morsel split.
+// All scan units share one worker pool, and the cached partials merge into
+// the total after the live scan.
 func (pl *plan) runColumnar(ctx context.Context, segs []storage.SegView, rs *runState) (*query.Result, error) {
-	kept, err := pl.admitSegments(segs, rs)
+	kept, hits, err := pl.admitSegments(segs, rs)
 	if err != nil {
 		return nil, err
 	}
-	morsels := pl.makeMorsels(kept)
-	process := func(p *partial, m morsel) { pl.processMorselColumnar(p, kept[m.si], m.lo, m.hi) }
+	morsels := pl.makeUnits(kept)
+	process := func(p *partial, m morsel) {
+		if m.whole {
+			pl.processSegmentCached(ctx, p, kept[m.si])
+			return
+		}
+		pl.processMorselColumnar(p, kept[m.si], m.lo, m.hi)
+	}
 	total, err := pl.runParallel(ctx, morsels, process, rs)
 	if err != nil {
 		return nil, err
 	}
+	if len(hits) > 0 && total != nil {
+		t0 := time.Now()
+		for _, part := range hits {
+			if total.arr != nil {
+				err = part.MergeIntoArray(total.arr)
+			} else {
+				err = part.MergeIntoHash(total.h)
+			}
+			if err != nil {
+				pl.eng.putArray(total.arr)
+				return nil, err
+			}
+		}
+		rs.stats.AggNS += time.Since(t0).Nanoseconds()
+	}
 	return pl.extract(total, rs)
+}
+
+// makeUnits builds the scan work list: one whole-segment unit per
+// cache-install segment (its partial must be captured in isolation), then
+// the regular morsel split over the live (tail) segments.
+func (pl *plan) makeUnits(kept []execSeg) []morsel {
+	var live []execSeg
+	liveIdx := make([]int, 0, len(kept))
+	var units []morsel
+	for si, es := range kept {
+		if es.install {
+			units = append(units, morsel{si: si, lo: 0, hi: es.sv.N, whole: true})
+			continue
+		}
+		live = append(live, es)
+		liveIdx = append(liveIdx, si)
+	}
+	for _, m := range pl.makeMorsels(live) {
+		m.si = liveIdx[m.si]
+		units = append(units, m)
+	}
+	return units
+}
+
+// processSegmentCached scans one sealed cache-miss segment into a private
+// scratch state, captures and installs the immutable partial, and folds
+// the scratch into the worker's partial. Cancellation is honored between
+// batches; a cancelled scan installs nothing (the run is abandoned).
+func (pl *plan) processSegmentCached(ctx context.Context, p *partial, es execSeg) {
+	scratch, err := pl.newPartial()
+	if err != nil {
+		// Array pool exhaustion is impossible mid-run (the shape already
+		// exists); be safe and scan uncached.
+		pl.processMorselColumnar(p, es, 0, es.sv.N)
+		return
+	}
+	done := ctx.Done()
+	for lo := 0; lo < es.sv.N; lo += pl.opt.BatchRows {
+		if done != nil && ctx.Err() != nil {
+			p.scanNS += scratch.scanNS
+			p.aggNS += scratch.aggNS
+			p.scanned += scratch.scanned
+			p.selected += scratch.selected
+			pl.eng.putArray(scratch.arr)
+			return
+		}
+		hi := lo + pl.opt.BatchRows
+		if hi > es.sv.N {
+			hi = es.sv.N
+		}
+		pl.processMorselColumnar(scratch, es, lo, hi)
+	}
+	t0 := time.Now()
+	var part *agg.Partial
+	if scratch.arr != nil {
+		part = scratch.arr.Capture()
+		if err := p.arr.Merge(scratch.arr); err != nil && p.mergeErr == nil {
+			p.mergeErr = err
+		}
+	} else {
+		part = scratch.h.Capture()
+		p.h.Merge(scratch.h)
+	}
+	pl.eng.aggCache.put(es.key, part, part.Bytes())
+	scratch.aggNS += time.Since(t0).Nanoseconds()
+	p.scanNS += scratch.scanNS
+	p.aggNS += scratch.aggNS
+	p.scanned += scratch.scanned
+	p.selected += scratch.selected
+	pl.eng.putArray(scratch.arr)
 }
 
 // runParallel drives workers over the morsel queue and merges their
@@ -253,6 +364,10 @@ func (pl *plan) runParallel(ctx context.Context, morsels []morsel, process func(
 				}
 			}
 			process(p, m)
+		}
+		if p.mergeErr != nil {
+			pl.eng.putArray(p.arr)
+			return nil, p.mergeErr
 		}
 		rs.stats.ScanNS += p.scanNS
 		rs.stats.AggNS += p.aggNS
@@ -303,8 +418,11 @@ func (pl *plan) runParallel(ctx context.Context, morsels []morsel, process func(
 	// Merge worker partials into the first one; merged arrays go back to
 	// the engine's pool.
 	total := partials[0]
-	var firstErr error
+	firstErr := total.mergeErr
 	for _, p := range partials[1:] {
+		if p.mergeErr != nil && firstErr == nil {
+			firstErr = p.mergeErr
+		}
 		if p.arr != nil {
 			if err := total.arr.Merge(p.arr); err != nil && firstErr == nil {
 				firstErr = err

@@ -111,6 +111,12 @@ func (e *Engine) Explain(q *query.Query) (string, error) {
 			fmt.Fprintf(&sb, "encoded segments: %d/%d (RLE/FoR chunks served by per-encoding decode kernels)\n",
 				encoded, total)
 		}
+		if pl.aggCacheable() {
+			fmt.Fprintf(&sb, "segment agg cache: enabled, budget %d MB — sealed segments merge cached partials, tail computed live (hits k / misses m / tail rows r via EXPLAIN ANALYZE)\n",
+				pl.opt.AggCacheBytes>>20)
+		} else {
+			sb.WriteString("segment agg cache: disabled\n")
+		}
 	}
 	if len(pl.stats.PrefilterTables) > 0 {
 		fmt.Fprintf(&sb, "predicate vectors on: %s (deeper filters folded in)\n",

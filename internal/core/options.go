@@ -115,6 +115,14 @@ type Options struct {
 	// fact table are ignored for that table. The engine itself does not
 	// consult this field.
 	SortKeys []string
+	// AggCacheBytes bounds the engine's per-segment aggregate cache: each
+	// compiled plan's partial aggregate over a sealed segment is cached
+	// (keyed by plan instance, segment, epoch, and delete generation) so
+	// repeated executions merge stored partials instead of re-scanning
+	// sealed data, and only the mutable tail is computed live. Zero means
+	// DefaultAggCacheBytes; negative disables the cache. Eviction is
+	// byte-accounted LRU.
+	AggCacheBytes int64
 	// SealedEncodings, when true, makes db.Open enable compressed chunk
 	// formats (RLE, frame-of-reference bit-packing, RLE dictionary codes)
 	// on sealed segments of every segmented fact table. Chunks are
@@ -140,6 +148,9 @@ func (o Options) withDefaults() Options {
 	if o.BatchRows < 1 {
 		o.BatchRows = 1 << 16
 	}
+	if o.AggCacheBytes == 0 {
+		o.AggCacheBytes = DefaultAggCacheBytes
+	}
 	return o
 }
 
@@ -164,6 +175,10 @@ type Stats struct {
 	// BindNS is time spent binding the plan's recipes to admitted
 	// segments' column arrays (cached for sealed segments).
 	BindNS int64
+	// CacheNS is time spent consulting the per-segment aggregate cache
+	// during segment admission (lookups only; installs are accounted to
+	// the scan that computed the partial).
+	CacheNS int64
 
 	// RowsScanned is the number of root rows considered.
 	RowsScanned int64
@@ -183,6 +198,17 @@ type Stats struct {
 	// root filters, "probe <table> via <fk>" for dimension probes). Empty
 	// segments, which every filter would prune, are not attributed.
 	PruneByFilter map[string]int
+	// AggCacheHits is the number of sealed segments whose scan was skipped
+	// because the plan's partial aggregate was served from the segment
+	// aggregate cache.
+	AggCacheHits int
+	// AggCacheMisses is the number of sealed segments scanned live and
+	// installed into the segment aggregate cache.
+	AggCacheMisses int
+	// TailRows is the number of rows that can never be served from the
+	// aggregate cache: rows of unsealed (tail) segments and flat roots.
+	// In a warm steady state, scanned rows == tail rows.
+	TailRows int64
 	// EncodedSegments is the number of admitted segments containing at
 	// least one compressed (RLE or FoR) chunk, i.e. segments served by the
 	// per-encoding decode kernels rather than plain array scans.

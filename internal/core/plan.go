@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"astore/internal/agg"
@@ -183,20 +183,19 @@ type plan struct {
 	fkMax   map[string]int64
 	dimReqs []rootDimReq
 
-	// segCache holds bindings for sealed segments, keyed by (segment,
-	// epoch); sealed chunks are immutable, so bindings stay valid across
-	// executions and concurrent queries share them.
-	segMu    sync.Mutex
-	segCache map[segKey]*segState
+	// id is the plan instance's unique identity: the key prefix for the
+	// engine-level segment caches (bindings and aggregate partials).
+	// Group-id assignment and compiled dimension state differ between
+	// plan instances even for identical SQL, so cached per-segment state
+	// is only reusable by the exact instance that produced it.
+	id uint64
 
 	stats  Stats
 	leafNS int64
 }
 
-type segKey struct {
-	seg   *storage.Segment
-	epoch uint64
-}
+// planSeq issues unique plan instance ids.
+var planSeq atomic.Uint64
 
 // resolveVariant maps Auto to its concrete executor.
 func resolveVariant(v Variant) Variant { return v }
@@ -226,7 +225,7 @@ func (e *Engine) planOn(q *query.Query, root *storage.Table, g *schema.Graph) (*
 		segmented: root.Segmented(),
 		planSegs:  root.SegViews(),
 		fkMax:     make(map[string]int64),
-		segCache:  make(map[segKey]*segState),
+		id:        planSeq.Add(1),
 	}
 
 	if err := pl.planFilters(); err != nil {
@@ -842,7 +841,8 @@ func (pl *plan) rootCovered(segs []storage.SegView) bool {
 // invalidate cached bindings.
 type segState struct {
 	n        int
-	encoded  bool // any chunk served by an encoded decode kernel
+	encoded  bool  // any chunk served by an encoded decode kernel
+	bytes    int64 // estimated footprint for binding-cache accounting
 	filters  []boundFilter
 	dims     []boundDim
 	aggs     []boundAgg
@@ -957,9 +957,10 @@ type boundAgg struct {
 }
 
 // segStateFor returns the binding for one segment view, serving sealed
-// segments from the shared cache (sealed chunks are immutable; the epoch
-// key catches copy-on-write replacements). Tail and flat pseudo-segments
-// bind fresh.
+// segments from the engine's byte-accounted binding cache (sealed chunks
+// are immutable; the epoch key catches copy-on-write replacements, and
+// LRU eviction bounds the decode buffers the bindings pin). Tail and flat
+// pseudo-segments bind fresh.
 func (pl *plan) segStateFor(sv *storage.SegView) (*segState, error) {
 	if sv.Seg == nil {
 		if pl.flatState != nil {
@@ -970,20 +971,15 @@ func (pl *plan) segStateFor(sv *storage.SegView) (*segState, error) {
 	if !sv.Sealed {
 		return pl.bind(sv)
 	}
-	key := segKey{seg: sv.Seg, epoch: sv.Epoch}
-	pl.segMu.Lock()
-	st, ok := pl.segCache[key]
-	pl.segMu.Unlock()
-	if ok {
-		return st, nil
+	key := bindKey{plan: pl.id, seg: sv.Seg, epoch: sv.Epoch}
+	if v, ok := pl.eng.bindCache.get(key); ok {
+		return v.(*segState), nil
 	}
 	st, err := pl.bind(sv)
 	if err != nil {
 		return nil, err
 	}
-	pl.segMu.Lock()
-	pl.segCache[key] = st
-	pl.segMu.Unlock()
+	pl.eng.bindCache.put(key, st, st.bytes)
 	return st, nil
 }
 
@@ -998,6 +994,10 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 			break
 		}
 	}
+	// alloc tracks the bytes this binding allocates beyond the chunk arrays
+	// it aliases — decode buffers, per-run verdicts, widened run values —
+	// which is what the engine's binding cache accounts and bounds.
+	alloc := int64(512)
 
 	st.filters = make([]boundFilter, 0, len(pl.filters))
 	for i := range pl.filters {
@@ -1022,6 +1022,7 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 			for ri, x := range rle.V {
 				pass[ri] = f.probe.passValue(x)
 			}
+			alloc += int64(len(pass))
 			st.filters = append(st.filters, boundFilter{probe: f.probe, runEnd: rle.End, runPass: pass})
 			continue
 		}
@@ -1029,6 +1030,7 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 		if err != nil {
 			return nil, err
 		}
+		alloc += decodeAllocBytes(cols[f.probe.fk0], sv.N)
 		st.filters = append(st.filters, boundFilter{probe: f.probe, fk0: fk0})
 	}
 
@@ -1041,6 +1043,7 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 			if err != nil {
 				return nil, err
 			}
+			alloc += decodeAllocBytes(cols[d.fk0], sv.N)
 			bd.fk0 = fk0
 		case gdRootDict:
 			switch c := cols[d.col].(type) {
@@ -1070,6 +1073,7 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 			default:
 				return nil, fmt.Errorf("core: segment column %s is not numeric", d.col)
 			}
+			alloc += decodeAllocBytes(cols[d.col], sv.N)
 		}
 		st.dims = append(st.dims, bd)
 	}
@@ -1094,6 +1098,7 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 				if err != nil {
 					return nil, err
 				}
+				alloc += decodeAllocBytes(cols[eb.fk0], sv.N)
 				acc, fks := eb.acc, eb.dimFKs
 				if len(fks) == 0 {
 					return func(r int32) float64 { return acc(fk0[r]) }, nil
@@ -1134,6 +1139,7 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 					default:
 						return false
 					}
+					alloc += decodeAllocBytes(cols[name], sv.N)
 					return true
 				}
 				if ap.form == expr.FCol {
@@ -1141,9 +1147,11 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 					case *storage.RLEInt32Col:
 						ba.aRLEVals, ba.aRLEEnd = widenRuns32(c.V), c.End
 						ba.fast = true
+						alloc += int64(8 * len(ba.aRLEVals))
 					case *storage.RLEInt64Col:
 						ba.aRLEVals, ba.aRLEEnd = widenRuns64(c.V), c.End
 						ba.fast = true
+						alloc += int64(8 * len(ba.aRLEVals))
 					}
 				}
 				if !ba.fast {
@@ -1173,7 +1181,21 @@ func (pl *plan) bind(sv *storage.SegView) (*segState, error) {
 			st.rowTests[i] = m
 		}
 	}
+	st.bytes = alloc
 	return st, nil
+}
+
+// decodeAllocBytes estimates the dense buffer a decode of chunk c into n
+// rows allocated: encoded chunks decode into fresh arrays the binding
+// pins, plain chunks are aliased for free.
+func decodeAllocBytes(c storage.Column, n int) int64 {
+	switch c.(type) {
+	case *storage.RLEInt32Col, *storage.FoRInt32Col:
+		return int64(4 * n)
+	case *storage.RLEInt64Col, *storage.FoRInt64Col:
+		return int64(8 * n)
+	}
+	return 0
 }
 
 func int32Chunk(cols map[string]storage.Column, name string) ([]int32, error) {

@@ -19,7 +19,7 @@ import (
 // path. Row-wise variants always aggregate into a hash table
 // (decideAggBackend never picks the array for them).
 func (pl *plan) runRowWise(ctx context.Context, segs []storage.SegView, rs *runState) (*query.Result, error) {
-	kept, err := pl.admitSegments(segs, rs)
+	kept, _, err := pl.admitSegments(segs, rs)
 	if err != nil {
 		return nil, err
 	}

@@ -342,10 +342,14 @@ func TestSegCacheBounded(t *testing.T) {
 		}
 		v.Release()
 	}
-	c.pl.segMu.Lock()
-	size := len(c.pl.segCache)
-	c.pl.segMu.Unlock()
-	if size > total0+16 {
-		t.Fatalf("segCache holds %d entries after 30 COW rounds over %d segments; stale bindings not evicted", size, total0)
+	// Each COW round rewrites one segment's binding under a new epoch key;
+	// the byte-accounted LRU keeps at most one stale generation per round,
+	// so growth must be linear in rounds, not rounds x segments.
+	cs := eng.CacheStats()
+	if cs.BindEntries > int64(total0+30+16) {
+		t.Fatalf("bind cache holds %d entries after 30 COW rounds over %d segments; bindings growing unboundedly", cs.BindEntries, total0)
+	}
+	if cs.BindBytes <= 0 || cs.BindBytes > defaultBindCacheBytes {
+		t.Fatalf("bind cache bytes = %d, want within (0, %d]", cs.BindBytes, int64(defaultBindCacheBytes))
 	}
 }

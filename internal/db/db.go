@@ -101,6 +101,26 @@ type Stats struct {
 	// proved them, keyed by the filter's display label, cumulative across
 	// executions.
 	PruneByFilter map[string]int64
+	// TailRows counts rows scanned live from mutable tails and flat roots
+	// across executions — the work the segment aggregate cache can never
+	// absorb.
+	TailRows int64
+
+	// Segment aggregate cache counters, summed over the DB's engines
+	// (cumulative for hits/misses/evictions, point-in-time for
+	// bytes/entries). See core.Options.AggCacheBytes.
+	AggCacheHits      int64
+	AggCacheMisses    int64
+	AggCacheEvictions int64
+	AggCacheBytes     int64
+	AggCacheEntries   int64
+	// Sealed-segment binding cache counters (decode buffers and probe
+	// verdicts, byte-accounted LRU), summed over the DB's engines.
+	BindCacheHits      int64
+	BindCacheMisses    int64
+	BindCacheEvictions int64
+	BindCacheBytes     int64
+	BindCacheEntries   int64
 }
 
 // Open builds a DB over the catalog: every fact table (a table referenced
@@ -202,16 +222,31 @@ func (d *DB) SetPlanCacheCap(n int) {
 	}
 }
 
-// Stats returns a copy of the cumulative serving counters.
+// Stats returns a copy of the cumulative serving counters. Segment cache
+// counters are read from the engines at call time, so they also reflect
+// executions that bypassed the DB layer (direct Engine use).
 func (d *DB) Stats() Stats {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	s := d.stats
 	if d.stats.PruneByFilter != nil {
 		s.PruneByFilter = make(map[string]int64, len(d.stats.PruneByFilter))
 		for k, v := range d.stats.PruneByFilter {
 			s.PruneByFilter[k] = v
 		}
+	}
+	d.mu.Unlock()
+	for _, name := range d.order {
+		cs := d.facts[name].CacheStats()
+		s.AggCacheHits += cs.AggHits
+		s.AggCacheMisses += cs.AggMisses
+		s.AggCacheEvictions += cs.AggEvictions
+		s.AggCacheBytes += cs.AggBytes
+		s.AggCacheEntries += cs.AggEntries
+		s.BindCacheHits += cs.BindHits
+		s.BindCacheMisses += cs.BindMisses
+		s.BindCacheEvictions += cs.BindEvictions
+		s.BindCacheBytes += cs.BindBytes
+		s.BindCacheEntries += cs.BindEntries
 	}
 	return s
 }
@@ -482,6 +517,7 @@ func (d *DB) execCounted(ctx context.Context, eng *core.Engine, view *core.View,
 		d.stats.RowsScanned += stats.RowsScanned
 		d.stats.RowsSelected += stats.RowsSelected
 		d.stats.EncodedSegments += int64(stats.EncodedSegments)
+		d.stats.TailRows += stats.TailRows
 		if len(stats.PruneByFilter) > 0 {
 			if d.stats.PruneByFilter == nil {
 				d.stats.PruneByFilter = make(map[string]int64)

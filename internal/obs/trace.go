@@ -26,6 +26,7 @@ const (
 	StagePlanCache = "plan_cache" // compiled-plan lookup keyed by (fact, sig)
 	StagePin       = "pin"        // snapshot acquisition across the star schema
 	StagePrune     = "prune"      // zone-map tests during segment admission
+	StageCache     = "cache"      // per-segment aggregate cache lookups
 	StageBind      = "bind"       // binding plan recipes to admitted segments
 	StageScan      = "scan"       // morsel-parallel scan-and-filter
 	StageMerge     = "merge"      // aggregate merge / group extraction
@@ -37,7 +38,7 @@ const (
 // this list so the plan-only rendering names the same stages a timed trace
 // reports.
 func StageNames() []string {
-	return []string{StageParse, StagePlanCache, StagePin, StagePrune, StageBind, StageScan, StageMerge}
+	return []string{StageParse, StagePlanCache, StagePin, StagePrune, StageCache, StageBind, StageScan, StageMerge}
 }
 
 // SpanID indexes a span inside its Trace. The zero ID is the root span.
@@ -58,6 +59,11 @@ type spanRec struct {
 	pruned  int
 	hasSegs bool
 	hit     int8 // -1 unset, 0 miss, 1 hit (plan-cache spans)
+
+	aggHits   int
+	aggMisses int
+	tailRows  int64
+	hasAgg    bool
 }
 
 // Trace is a per-query span recorder. It is cheap enough to create per
@@ -143,6 +149,17 @@ func (t *Trace) SetSegments(id SpanID, total, pruned int) {
 	t.mu.Unlock()
 }
 
+// SetAggCache attaches segment aggregate cache counts to a span: segments
+// served from / installed into the cache, and the live tail row count.
+func (t *Trace) SetAggCache(id SpanID, hits, misses int, tailRows int64) {
+	t.mu.Lock()
+	if int(id) < len(t.spans) {
+		s := &t.spans[id]
+		s.aggHits, s.aggMisses, s.tailRows, s.hasAgg = hits, misses, tailRows, true
+	}
+	t.mu.Unlock()
+}
+
 // SetHit marks a cache-lookup span as hit or miss.
 func (t *Trace) SetHit(id SpanID, hit bool) {
 	t.mu.Lock()
@@ -189,7 +206,18 @@ type Span struct {
 	Segments       int     `json:"segments,omitempty"`
 	SegmentsPruned int     `json:"segments_pruned,omitempty"`
 	CacheHit       *bool   `json:"cache_hit,omitempty"`
-	Children       []*Span `json:"children,omitempty"`
+	// AggCache carries the segment aggregate cache counts of a "cache"
+	// stage span: present (possibly all-zero) whenever the executor
+	// consulted the cache path, absent on spans that never touch it.
+	AggCache *AggCacheInfo `json:"agg_cache,omitempty"`
+	Children []*Span       `json:"children,omitempty"`
+}
+
+// AggCacheInfo summarizes one execution's segment aggregate cache usage.
+type AggCacheInfo struct {
+	Hits     int   `json:"hits"`
+	Misses   int   `json:"misses"`
+	TailRows int64 `json:"tail_rows"`
 }
 
 // Tree snapshots the trace as a nested span tree rooted at "query". Open
@@ -222,6 +250,9 @@ func (t *Trace) Tree() *Span {
 		if r.hit >= 0 {
 			hit := r.hit == 1
 			n.CacheHit = &hit
+		}
+		if r.hasAgg {
+			n.AggCache = &AggCacheInfo{Hits: r.aggHits, Misses: r.aggMisses, TailRows: r.tailRows}
 		}
 		nodes[i] = n
 	}
@@ -263,6 +294,10 @@ func formatSpan(b *strings.Builder, s *Span, depth int) {
 		} else {
 			b.WriteString("  miss")
 		}
+	}
+	if s.AggCache != nil {
+		fmt.Fprintf(b, "  segment agg cache: hits %d / misses %d / tail rows %d",
+			s.AggCache.Hits, s.AggCache.Misses, s.AggCache.TailRows)
 	}
 	b.WriteByte('\n')
 	kids := append([]*Span(nil), s.Children...)

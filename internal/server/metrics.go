@@ -108,6 +108,24 @@ type DBStats struct {
 	// filters, "probe <table> via <fk>" for dimension probes). Omitted
 	// until the first attributed prune.
 	PruneByFilter map[string]int64 `json:"prune_by_filter,omitempty"`
+	// TailRows counts rows scanned live from mutable tails and flat roots
+	// — the work the segment aggregate cache can never absorb.
+	TailRows int64 `json:"tail_rows"`
+	// Segment aggregate cache counters (per-plan partial aggregates over
+	// sealed segments): cumulative hits/misses/evictions, point-in-time
+	// bytes/entries, summed over the DB's engines.
+	AggCacheHits      int64 `json:"agg_cache_hits"`
+	AggCacheMisses    int64 `json:"agg_cache_misses"`
+	AggCacheEvictions int64 `json:"agg_cache_evictions"`
+	AggCacheBytes     int64 `json:"agg_cache_bytes"`
+	AggCacheEntries   int64 `json:"agg_cache_entries"`
+	// Sealed-segment binding cache counters (decode buffers and probe
+	// verdicts, byte-accounted LRU).
+	BindCacheHits      int64 `json:"bind_cache_hits"`
+	BindCacheMisses    int64 `json:"bind_cache_misses"`
+	BindCacheEvictions int64 `json:"bind_cache_evictions"`
+	BindCacheBytes     int64 `json:"bind_cache_bytes"`
+	BindCacheEntries   int64 `json:"bind_cache_entries"`
 }
 
 // TableStats is the per-table block of /v1/stats: the row count and

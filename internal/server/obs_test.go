@@ -209,6 +209,15 @@ func TestMetricsEndpoint(t *testing.T) {
 		"astore_segments_considered_total ",
 		"astore_segments_pruned_total ",
 		"astore_rows_scanned_total ",
+		"astore_tail_rows_total ",
+		"astore_aggcache_hits_total ",
+		"astore_aggcache_misses_total ",
+		"astore_aggcache_evictions_total ",
+		"astore_aggcache_bytes ",
+		"astore_aggcache_entries ",
+		"astore_bindcache_evictions_total ",
+		"astore_bindcache_bytes ",
+		"astore_bindcache_entries ",
 		"astore_admission_in_flight ",
 		"astore_uptime_seconds ",
 		`astore_table_rows{table="lineorder"} `,

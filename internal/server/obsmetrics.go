@@ -66,6 +66,28 @@ func (s *Server) initMetrics() {
 		func() int64 { return s.db.Stats().RowsSelected })
 	dbCounter("astore_encoded_segments_total", "Admitted segments containing compressed (RLE/FoR) chunks.",
 		func() int64 { return s.db.Stats().EncodedSegments })
+	dbCounter("astore_tail_rows_total", "Rows scanned live from mutable tails and flat roots (work the aggregate cache cannot absorb).",
+		func() int64 { return s.db.Stats().TailRows })
+
+	// Segment aggregate cache (per-plan partial aggregates over sealed
+	// segments) and sealed-segment binding cache, read from the engines at
+	// scrape time.
+	dbCounter("astore_aggcache_hits_total", "Sealed-segment scans skipped by serving a cached partial aggregate.",
+		func() int64 { return s.db.Stats().AggCacheHits })
+	dbCounter("astore_aggcache_misses_total", "Sealed segments scanned live and installed into the aggregate cache.",
+		func() int64 { return s.db.Stats().AggCacheMisses })
+	dbCounter("astore_aggcache_evictions_total", "Aggregate cache entries dropped by the byte-accounted LRU bound.",
+		func() int64 { return s.db.Stats().AggCacheEvictions })
+	r.GaugeFunc("astore_aggcache_bytes", "Current size of the segment aggregate cache.",
+		func() float64 { return float64(s.db.Stats().AggCacheBytes) })
+	r.GaugeFunc("astore_aggcache_entries", "Current entry count of the segment aggregate cache.",
+		func() float64 { return float64(s.db.Stats().AggCacheEntries) })
+	dbCounter("astore_bindcache_evictions_total", "Binding cache entries dropped by the byte-accounted LRU bound.",
+		func() int64 { return s.db.Stats().BindCacheEvictions })
+	r.GaugeFunc("astore_bindcache_bytes", "Current size of the sealed-segment binding cache.",
+		func() float64 { return float64(s.db.Stats().BindCacheBytes) })
+	r.GaugeFunc("astore_bindcache_entries", "Current entry count of the sealed-segment binding cache.",
+		func() float64 { return float64(s.db.Stats().BindCacheEntries) })
 
 	// Admission controller state and totals.
 	r.GaugeFunc("astore_admission_in_flight", "Queries currently executing.",

@@ -163,6 +163,7 @@ func (s *Server) logSlowQuery(rid string, req *queryRequest, meta *queryMeta, re
 		SegmentsPruned: meta.stats.SegmentsPruned,
 		StagesUS: map[string]float64{
 			obs.StagePrune: float64(meta.stats.PruneNS) / 1e3,
+			obs.StageCache: float64(meta.stats.CacheNS) / 1e3,
 			obs.StageBind:  float64(meta.stats.BindNS) / 1e3,
 			obs.StageScan:  float64(meta.stats.ScanNS) / 1e3,
 			obs.StageMerge: float64(meta.stats.AggNS) / 1e3,

@@ -104,3 +104,57 @@ func TestSegmentedServing(t *testing.T) {
 		t.Errorf("segments_pruned %d > segments_total %d", stats.DB.SegmentsPruned, stats.DB.SegmentsTotal)
 	}
 }
+
+// TestAggCacheStatsServing: repeated identical queries over a segmented
+// catalog reuse the cached plan, so the second run merges the per-segment
+// partials the first run installed — and /v1/stats must report the cache
+// counters moving.
+func TestAggCacheStatsServing(t *testing.T) {
+	_, ts, data, _ := newSSBServer(t, 0.01, Config{}, core.Options{SegmentRows: 4096})
+	if !data.Lineorder.Segmented() {
+		t.Fatal("lineorder not segmented")
+	}
+
+	body := `{"sql": "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year"}`
+	var results []string
+	for i := 0; i < 3; i++ {
+		resp, raw := post(t, ts.URL+"/v1/query", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d status %d: %s", i, resp.StatusCode, raw)
+		}
+		var qr struct {
+			Rows json.RawMessage `json:"rows"`
+		}
+		if err := json.Unmarshal(raw, &qr); err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, string(qr.Rows))
+	}
+	if results[1] != results[0] || results[2] != results[0] {
+		t.Fatalf("cached executions diverge:\n%s\n%s\n%s", results[0], results[1], results[2])
+	}
+
+	hres, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	var stats Stats
+	if err := json.NewDecoder(hres.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.DB.AggCacheMisses == 0 {
+		t.Error("/v1/stats agg_cache_misses = 0 after a cold run, want > 0")
+	}
+	if stats.DB.AggCacheHits == 0 {
+		t.Error("/v1/stats agg_cache_hits = 0 after repeated runs, want > 0")
+	}
+	if stats.DB.AggCacheEntries == 0 || stats.DB.AggCacheBytes == 0 {
+		t.Errorf("/v1/stats agg cache empty: entries=%d bytes=%d",
+			stats.DB.AggCacheEntries, stats.DB.AggCacheBytes)
+	}
+	if stats.DB.BindCacheEntries == 0 || stats.DB.BindCacheBytes == 0 {
+		t.Errorf("/v1/stats bind cache empty: entries=%d bytes=%d",
+			stats.DB.BindCacheEntries, stats.DB.BindCacheBytes)
+	}
+}

@@ -427,6 +427,19 @@ func (s *Server) StatsSnapshot() Stats {
 			RowsSelected:    dbStats.RowsSelected,
 			EncodedSegments: dbStats.EncodedSegments,
 			PruneByFilter:   dbStats.PruneByFilter,
+			TailRows:        dbStats.TailRows,
+
+			AggCacheHits:      dbStats.AggCacheHits,
+			AggCacheMisses:    dbStats.AggCacheMisses,
+			AggCacheEvictions: dbStats.AggCacheEvictions,
+			AggCacheBytes:     dbStats.AggCacheBytes,
+			AggCacheEntries:   dbStats.AggCacheEntries,
+
+			BindCacheHits:      dbStats.BindCacheHits,
+			BindCacheMisses:    dbStats.BindCacheMisses,
+			BindCacheEvictions: dbStats.BindCacheEvictions,
+			BindCacheBytes:     dbStats.BindCacheBytes,
+			BindCacheEntries:   dbStats.BindCacheEntries,
 		},
 		Admission: AdmissionStats{
 			MaxInFlight: s.cfg.MaxInFlight,

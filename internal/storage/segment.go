@@ -155,6 +155,13 @@ type Segment struct {
 	del       *Bitmap
 	delShared bool // deletion bitmap pinned by a live snapshot
 
+	// delGen counts deletions applied to the segment. Deletes never bump
+	// the epoch (bindings ignore the deletion bitmap, so they survive),
+	// and they may mutate del in place when no snapshot pins it — so any
+	// cache keyed by the segment's visible row set (per-segment aggregate
+	// partials) must include delGen in its key alongside the epoch.
+	delGen uint64
+
 	shared map[string]bool // chunks pinned by live snapshots
 
 	// epoch counts chunk replacements (copy-on-write and consolidation
@@ -178,6 +185,9 @@ func (s *Segment) Sealed() bool { return s.sealed }
 // Epoch returns the segment's chunk-replacement counter.
 func (s *Segment) Epoch() uint64 { return s.epoch }
 
+// DelGen returns the segment's deletion counter.
+func (s *Segment) DelGen() uint64 { return s.delGen }
+
 // SegView is a stable read view of one segment: the visible row count, the
 // deletion bitmap, the chunk headers, and the zone maps, captured under the
 // table mutex. For flat (unsegmented) tables a single pseudo-SegView covers
@@ -199,6 +209,9 @@ type SegView struct {
 	Zones map[string]Zone
 	// Epoch is the segment's chunk-replacement counter at capture time.
 	Epoch uint64
+	// DelGen is the segment's deletion counter at capture time; together
+	// with Epoch it identifies the segment's visible row set.
+	DelGen uint64
 	// Sealed reports whether the segment was sealed at capture time.
 	Sealed bool
 }
@@ -533,6 +546,7 @@ func segViewLocked(s *Segment) SegView {
 		Cols:   make(map[string]Column, len(s.cols)),
 		Zones:  make(map[string]Zone, len(s.zones)),
 		Epoch:  s.epoch,
+		DelGen: s.delGen,
 		Sealed: s.sealed,
 	}
 	for name, c := range s.cols {
@@ -675,6 +689,7 @@ func (t *Table) deleteSegmentedLocked(i int) error {
 		s.delShared = false
 	}
 	s.del.Set(local)
+	s.delGen++
 	t.version++
 	return nil
 }
