@@ -17,6 +17,11 @@
 //
 // SIGINT/SIGTERM shut down gracefully: new requests are rejected with 503
 // while in-flight queries drain and release their snapshot pins.
+//
+// Scale-out (see README "Scale-out: sharded execution"):
+//
+//	astore-serve -worker -addr :9001            shard worker (adds POST /v1/shard/exec)
+//	astore-serve -shards host:9001,host:9002    coordinator: scatter-gather across workers
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"astore/internal/datagen/ssb"
 	"astore/internal/db"
 	"astore/internal/server"
+	"astore/internal/shard"
 	"astore/internal/storage"
 )
 
@@ -65,6 +71,15 @@ func main() {
 		drainWait   = flag.Duration("drain-wait", 30*time.Second, "max time to drain in-flight queries on shutdown")
 		slowQuery   = flag.Duration("slow-query", 0,
 			"log queries at or above this latency as JSON lines to stderr (0 = disabled)")
+
+		worker = flag.Bool("worker", false,
+			"serve POST /v1/shard/exec: execute shard slices and return serialized partial aggregates")
+		shards = flag.String("shards", "",
+			"coordinator mode: comma-separated worker addresses (host:port) to scatter queries across")
+		shardSlices = flag.Bool("shard-slices", true,
+			"coordinator: workers hold the full dataset and scan canonical slices (false = each worker owns its own partition)")
+		shardTimeout = flag.Duration("shard-timeout", 30*time.Second,
+			"coordinator: per-worker scatter deadline")
 	)
 	flag.Parse()
 
@@ -104,6 +119,36 @@ func main() {
 	}
 	log.Printf("serving fact tables %v on %s", d.Facts(), *addr)
 
+	var coord *shard.Coordinator
+	if *shards != "" {
+		var workerList []shard.Worker
+		addrs := strings.Split(*shards, ",")
+		n := 0
+		for _, a := range addrs {
+			if a = strings.TrimSpace(a); a != "" {
+				n++
+			}
+		}
+		i := 0
+		for _, a := range addrs {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			hw := shard.NewHTTPWorker(a, *shardTimeout)
+			if *shardSlices {
+				hw.SetSlice(i, n)
+			}
+			workerList = append(workerList, hw)
+			i++
+		}
+		coord, err = shard.New(d, workerList, shard.Options{ExecTimeout: *shardTimeout})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("coordinator: scattering across %d shard workers %v", len(workerList), coord.Workers())
+	}
+
 	srv := server.New(d, server.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
@@ -113,7 +158,12 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		SlowQuery:      *slowQuery,
 		Logf:           log.Printf,
+		Coordinator:    coord,
+		ShardWorker:    *worker,
 	})
+	if *worker {
+		log.Printf("shard worker: serving POST /v1/shard/exec")
+	}
 
 	// Graceful shutdown: reject new work, drain in-flight queries (releasing
 	// snapshot pins), then close the listener.

@@ -89,6 +89,23 @@ func (p *Partial) Bytes() int64 {
 	return b
 }
 
+// kindsMatch verifies a snapshot's aggregate list against the receiving
+// state's, per position: merging Sum cells into a Min column would silently
+// produce wrong extrema, so shape equality is not enough. This matters most
+// for snapshots that crossed a process boundary (see wire.go).
+func kindsMatch(got, want []expr.AggKind) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("agg: partial merge of mismatched aggregate kinds")
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("agg: partial merge of mismatched aggregate kinds (%v vs %v at position %d)",
+				got[i], want[i], i)
+		}
+	}
+	return nil
+}
+
 // MergeIntoArray folds an array-form snapshot into a live aggregation array
 // with per-kind semantics: Sum/Avg accumulators add, Min/Max take the
 // extremum, counts add (which finalizes Count and Avg correctly later).
@@ -96,8 +113,8 @@ func (p *Partial) MergeIntoArray(a *ArrayAgg) error {
 	if p.keys != nil {
 		return fmt.Errorf("agg: hash-form partial merged into an aggregation array")
 	}
-	if len(p.kinds) != len(a.kinds) {
-		return fmt.Errorf("agg: partial merge of mismatched aggregate kinds")
+	if err := kindsMatch(p.kinds, a.kinds); err != nil {
+		return err
 	}
 	nk := len(p.kinds)
 	for i, f := range p.flats {
@@ -132,8 +149,8 @@ func (p *Partial) MergeIntoHash(h *HashAgg) error {
 	if p.flats != nil {
 		return fmt.Errorf("agg: array-form partial merged into a hash aggregation")
 	}
-	if len(p.kinds) != len(h.kinds) {
-		return fmt.Errorf("agg: partial merge of mismatched aggregate kinds")
+	if err := kindsMatch(p.kinds, h.kinds); err != nil {
+		return err
 	}
 	nk := len(p.kinds)
 	for i, key := range p.keys {

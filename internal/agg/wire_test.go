@@ -1,0 +1,231 @@
+package agg
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"astore/internal/expr"
+)
+
+// roundTrip encodes and decodes a snapshot, failing the test on either leg.
+func roundTrip(t *testing.T, p *Partial) *Partial {
+	t.Helper()
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalPartial(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return got
+}
+
+// samePartial compares two snapshots field by field (bit-exact values).
+func samePartial(t *testing.T, got, want *Partial, label string) {
+	t.Helper()
+	if len(got.kinds) != len(want.kinds) {
+		t.Fatalf("%s: %d kinds, want %d", label, len(got.kinds), len(want.kinds))
+	}
+	for i := range got.kinds {
+		if got.kinds[i] != want.kinds[i] {
+			t.Fatalf("%s: kind[%d] = %v, want %v", label, i, got.kinds[i], want.kinds[i])
+		}
+	}
+	if (got.keys == nil) != (want.keys == nil) {
+		t.Fatalf("%s: form changed across the wire (keys nil: %v vs %v)", label, got.keys == nil, want.keys == nil)
+	}
+	if len(got.flats) != len(want.flats) || len(got.keys) != len(want.keys) ||
+		len(got.counts) != len(want.counts) || len(got.vals) != len(want.vals) {
+		t.Fatalf("%s: shape %d/%d/%d/%d, want %d/%d/%d/%d", label,
+			len(got.flats), len(got.keys), len(got.counts), len(got.vals),
+			len(want.flats), len(want.keys), len(want.counts), len(want.vals))
+	}
+	for i := range want.flats {
+		if got.flats[i] != want.flats[i] {
+			t.Fatalf("%s: flat[%d] = %d, want %d", label, i, got.flats[i], want.flats[i])
+		}
+	}
+	for i := range want.keys {
+		if got.keys[i] != want.keys[i] {
+			t.Fatalf("%s: key[%d] = %q, want %q", label, i, got.keys[i], want.keys[i])
+		}
+	}
+	for i := range want.counts {
+		if got.counts[i] != want.counts[i] {
+			t.Fatalf("%s: count[%d] = %d, want %d", label, i, got.counts[i], want.counts[i])
+		}
+	}
+	for i := range want.vals {
+		if got.vals[i] != want.vals[i] {
+			t.Fatalf("%s: val[%d] = %v, want %v", label, i, got.vals[i], want.vals[i])
+		}
+	}
+}
+
+func TestWireRoundTripArray(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const cells = 64
+	rows := genRows(rng, 500, cells)
+	a := feedArray(t, rows, cells)
+	p := a.Capture()
+	samePartial(t, roundTrip(t, p), p, "array")
+
+	// The decoded snapshot must merge like the original: feed both into
+	// fresh arrays and compare the finalized groups.
+	m1 := mustArray(t, cells, partialKinds)
+	m2 := mustArray(t, cells, partialKinds)
+	if err := p.MergeIntoArray(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(t, p).MergeIntoArray(m2); err != nil {
+		t.Fatal(err)
+	}
+	sameArrayResult(t, m2, m1, "decoded merge")
+}
+
+func TestWireRoundTripHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rows := genRows(rng, 500, 64)
+	h := feedHash(rows)
+	p := h.Capture()
+	samePartial(t, roundTrip(t, p), p, "hash")
+
+	m1 := NewHashAgg(partialKinds)
+	m2 := NewHashAgg(partialKinds)
+	if err := p.MergeIntoHash(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(t, p).MergeIntoHash(m2); err != nil {
+		t.Fatal(err)
+	}
+	g1, g2 := m1.Extract(), m2.Extract()
+	if len(g1) != len(g2) {
+		t.Fatalf("decoded merge: %d groups, want %d", len(g2), len(g1))
+	}
+	for i := range g1 {
+		if g1[i].Key() != g2[i].Key() || g1[i].Count != g2[i].Count {
+			t.Fatalf("decoded merge: group %d differs", i)
+		}
+	}
+}
+
+func TestWireRoundTripEmpty(t *testing.T) {
+	arr := mustArray(t, 8, partialKinds)
+	pa := arr.Capture()
+	ga := roundTrip(t, pa)
+	if ga.keys != nil || ga.Cells() != 0 {
+		t.Fatalf("empty array snapshot decoded as %d cells (keys nil: %v)", ga.Cells(), ga.keys == nil)
+	}
+	ph := NewHashAgg(partialKinds).Capture()
+	gh := roundTrip(t, ph)
+	if gh.keys == nil || gh.Cells() != 0 {
+		t.Fatalf("empty hash snapshot lost its form (keys nil: %v, cells %d)", gh.keys == nil, gh.Cells())
+	}
+	// Form survives the wire: an empty hash snapshot must still refuse to
+	// merge into an aggregation array.
+	if err := gh.MergeIntoHash(NewHashAgg(partialKinds)); err != nil {
+		t.Fatalf("empty hash merge: %v", err)
+	}
+}
+
+func TestWireRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := feedArray(t, genRows(rng, 100, 16), 16).Capture()
+	good, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(fn func(b []byte) []byte) []byte {
+		return fn(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] ^= 0xff; return b }), "bad magic"},
+		{"bad version", mutate(func(b []byte) []byte { b[4] = 99; return b }), "unsupported version"},
+		{"bad form", mutate(func(b []byte) []byte { b[5] = 7; return b }), "unknown form"},
+		{"bad kind", mutate(func(b []byte) []byte { b[7] = 200; return b }), "unknown aggregate kind"},
+		{"truncated tail", good[:len(good)-3], "truncated"},
+		{"trailing bytes", append(append([]byte(nil), good...), 0xaa), "trailing"},
+		{"huge cell count", mutate(func(b []byte) []byte {
+			off := 7 + len(partialKinds) // cells field follows the kind list
+			for i := 0; i < 4; i++ {
+				b[off+i] = 0xff
+			}
+			return b
+		}), "exceed"},
+	}
+	for _, tc := range cases {
+		if _, err := UnmarshalPartial(tc.data); err == nil {
+			t.Errorf("%s: decode succeeded, want error containing %q", tc.name, tc.want)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestWireRejectsNegativeCount(t *testing.T) {
+	p := &Partial{
+		kinds:  []expr.AggKind{expr.Sum},
+		flats:  []int32{0},
+		counts: []int64{-5},
+		vals:   []float64{1},
+	}
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalPartial(data); err == nil || !strings.Contains(err.Error(), "negative row count") {
+		t.Fatalf("negative count decoded: err = %v", err)
+	}
+}
+
+func TestMergeRejectsKindMismatch(t *testing.T) {
+	// Same arity, different aggregate at one position: the merge must fail
+	// instead of silently folding Sum cells into a Min column.
+	p := &Partial{
+		kinds:  []expr.AggKind{expr.Sum, expr.Min},
+		flats:  []int32{0},
+		counts: []int64{1},
+		vals:   []float64{1, 2},
+	}
+	a, err := NewArrayAgg([]int{4}, []expr.AggKind{expr.Sum, expr.Max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MergeIntoArray(a); err == nil || !strings.Contains(err.Error(), "mismatched aggregate kinds") {
+		t.Fatalf("kind mismatch merged: err = %v", err)
+	}
+	h := NewHashAgg([]expr.AggKind{expr.Sum, expr.Max})
+	ph := &Partial{
+		kinds:  []expr.AggKind{expr.Sum, expr.Min},
+		keys:   []string{"k"},
+		counts: []int64{1},
+		vals:   []float64{1, 2},
+	}
+	if err := ph.MergeIntoHash(h); err == nil || !strings.Contains(err.Error(), "mismatched aggregate kinds") {
+		t.Fatalf("kind mismatch merged into hash: err = %v", err)
+	}
+}
+
+func TestWireDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	p := feedHash(genRows(rng, 200, 32)).Capture()
+	a, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding is not deterministic")
+	}
+}

@@ -22,6 +22,18 @@
 // that mentions err is treated as the failure exit — the handle is nil
 // there and needs no release. Paths into panic are ignored (deferred
 // releases still run).
+//
+// Pin vectors: scatter-gather code pins one snapshot per shard and holds
+// them in a slice (`pins[i] = h` or `pins = append(pins, h)`). Storing a
+// handle into a local slice transfers tracking to the vector: the pins
+// are released when the vector is drained by a range loop whose body
+// releases the range value (`for _, h := range pins { h.Release() }`),
+// either inline or inside a deferred closure. A deferred range-release
+// anywhere in the function covers the vector (the coordinator idiom
+// installs it before the scatter loop). While the vector is tracked, the
+// error-return idiom no longer closes a path: `return err` mid-scatter
+// leaks every pin already in the vector, which is exactly the
+// partial-failure bug this extension exists to catch.
 package pinrelease
 
 import (
@@ -77,12 +89,13 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 		return
 	}
 	g := cflow.New(body)
+	deferred := deferredRangeVecs(pass, body)
 	for _, acq := range acqs {
 		if acq.deposed {
 			pass.Reportf(acq.call.Pos(), "result of %s carries a pin; discarding it leaks the pin", types.ExprString(acq.call.Fun))
 			continue
 		}
-		analyze(pass, g, acq)
+		analyze(pass, g, acq, deferred)
 	}
 }
 
@@ -221,11 +234,16 @@ func isErrorType(t types.Type) bool {
 
 // ---- path analysis ----
 
-// state is the tracked handle's status along one path.
+// state is the tracked handle's status along one path. When vec is
+// non-nil, tracking has transferred from the handle to a local pin
+// vector holding it; the vector's range-release then stands in for the
+// handle's Release.
 type state struct {
-	live     bool // acquired, not yet released/escaped/failed
-	released bool // explicitly released once
-	deferred bool // a defer will release it at any exit
+	live       bool         // acquired, not yet released/escaped/failed
+	released   bool         // explicitly released once
+	deferred   bool         // a defer will release it at any exit
+	vec        types.Object // local slice now holding the pin (nil = handle itself)
+	releasedAt token.Pos    // position of the release (loop heads revisit themselves)
 }
 
 // event classification for one CFG node.
@@ -237,9 +255,10 @@ const (
 	evDeferRelease
 	evEscape    // ownership transferred: stop tracking
 	evErrReturn // failure-path return mentioning the companion error
+	evStoreVec  // handle stored into a local pin vector: track the vector
 )
 
-func analyze(pass *analysis.Pass, g *cflow.Graph, acq *acquisition) {
+func analyze(pass *analysis.Pass, g *cflow.Graph, acq *acquisition, deferredVecs map[types.Object]bool) {
 	// Locate the acquisition statement in the graph.
 	startBlock, startIdx := -1, -1
 	for bi, b := range g.Blocks {
@@ -283,20 +302,29 @@ func analyze(pass *analysis.Pass, g *cflow.Graph, acq *acquisition) {
 			n := w.block.Nodes[i]
 			if n == ast.Node(acq.stmt) {
 				// Loop back edge re-executes the acquisition: the handle is
-				// re-bound to a fresh pin, so tracking starts over.
-				st = state{live: true}
+				// re-bound to a fresh pin, so tracking starts over. A pin
+				// vector accumulated on earlier iterations stays tracked —
+				// its pins are still live.
+				st = state{live: true, vec: st.vec, deferred: st.deferred}
 				continue
 			}
-			switch classifyNode(pass, n, acq) {
+			ev, vecObj := classifyNode(pass, n, acq, st)
+			switch ev {
 			case evRelease:
 				if st.released && !st.live {
-					if !doubles[n.Pos()] {
-						doubles[n.Pos()] = true
-						pass.Reportf(n.Pos(), "pin from %s already released on this path (double release)", types.ExprString(acq.call.Fun))
+					// A range-release loop's head revisits itself via the
+					// back edge; that is the same dynamic release, not a
+					// double one.
+					if _, isRange := n.(*ast.RangeStmt); !(isRange && st.releasedAt == n.Pos()) {
+						if !doubles[n.Pos()] {
+							doubles[n.Pos()] = true
+							pass.Reportf(n.Pos(), "pin from %s already released on this path (double release)", types.ExprString(acq.call.Fun))
+						}
 					}
 				}
 				st.live = false
 				st.released = true
+				st.releasedAt = n.Pos()
 			case evDeferRelease:
 				st.deferred = true
 			case evEscape:
@@ -304,6 +332,12 @@ func analyze(pass *analysis.Pass, g *cflow.Graph, acq *acquisition) {
 			case evErrReturn:
 				if st.live {
 					closed = true
+				}
+			case evStoreVec:
+				st.vec = vecObj
+				st.released = false
+				if deferredVecs[vecObj] {
+					st.deferred = true
 				}
 			}
 			if closed {
@@ -329,27 +363,38 @@ func analyze(pass *analysis.Pass, g *cflow.Graph, acq *acquisition) {
 	}
 }
 
-// classifyNode determines what a CFG node does to the tracked handle.
+// classifyNode determines what a CFG node does to the tracked object —
+// the handle itself, or the pin vector it was stored into (st.vec).
 // Structured statements (if/for/switch heads) contribute only their
-// condition expressions — their bodies live in successor blocks.
-func classifyNode(pass *analysis.Pass, n ast.Node, acq *acquisition) eventKind {
+// condition expressions — their bodies live in successor blocks — except
+// a range head over the tracked vector, which is recognized whole as the
+// drain loop. The second result is the vector object for evStoreVec.
+func classifyNode(pass *analysis.Pass, n ast.Node, acq *acquisition, st state) (eventKind, types.Object) {
+	if st.vec != nil {
+		return classifyVecNode(pass, n, st.vec)
+	}
 	switch n := n.(type) {
-	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+	case *ast.RangeStmt:
+		// `for _, h := range pins` can only matter once tracking moved to
+		// a vector; until then the head is inert like the other loops.
+		return evNone, nil
+
+	case *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt,
 		*ast.TypeSwitchStmt, *ast.SelectStmt:
-		return evNone // head marker; condition cannot release or escape
+		return evNone, nil // head marker; condition cannot release or escape
 
 	case *ast.ExprStmt:
 		if isReleaseCall(pass, n.X, acq.handle) {
-			return evRelease
+			return evRelease, nil
 		}
 		if usesObjEscaping(pass, n, acq.handle) {
-			return evEscape // handle passed to some call
+			return evEscape, nil // handle passed to some call
 		}
-		return evNone
+		return evNone, nil
 
 	case *ast.DeferStmt:
 		if isReleaseCall(pass, n.Call, acq.handle) {
-			return evDeferRelease
+			return evDeferRelease, nil
 		}
 		// defer func() { v.Release() }() — a closure whose body releases.
 		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
@@ -361,32 +406,239 @@ func classifyNode(pass *analysis.Pass, n ast.Node, acq *acquisition) eventKind {
 				return !rel
 			})
 			if rel {
-				return evDeferRelease
+				return evDeferRelease, nil
 			}
 		}
 		if usesObjEscaping(pass, n, acq.handle) {
-			return evEscape
+			return evEscape, nil
 		}
-		return evNone
+		return evNone, nil
 
 	case *ast.ReturnStmt:
 		if usesObj(pass, n, acq.handle) {
-			return evEscape // ownership transferred to the caller
+			return evEscape, nil // ownership transferred to the caller
 		}
 		if acq.err != nil && usesObj(pass, n, acq.err) {
-			return evErrReturn
+			return evErrReturn, nil
 		}
-		return evNone
+		return evNone, nil
+
+	case *ast.AssignStmt:
+		// Storing the handle into a local slice keeps ownership in this
+		// function: track the vector from here on.
+		if vec := vecStore(pass, n, acq.handle); vec != nil {
+			return evStoreVec, vec
+		}
+		if usesObjEscaping(pass, n, acq.handle) {
+			return evEscape, nil
+		}
+		return evNone, nil
 
 	default:
-		// Assignments, sends, declarations, go statements: any mention of
-		// the handle (other than as a method receiver) stores or shares
-		// it — ownership moves elsewhere.
+		// Sends, declarations, go statements: any mention of the handle
+		// (other than as a method receiver) stores or shares it —
+		// ownership moves elsewhere.
 		if usesObjEscaping(pass, n, acq.handle) {
-			return evEscape
+			return evEscape, nil
 		}
-		return evNone
+		return evNone, nil
 	}
+}
+
+// classifyVecNode is classifyNode once tracking has transferred to a pin
+// vector: the vector is released by a range loop draining it, deferred or
+// inline; storing further handles into it is inert; any other use moves
+// ownership away.
+func classifyVecNode(pass *analysis.Pass, n ast.Node, vec types.Object) (eventKind, types.Object) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		if isRangeRelease(pass, n, vec) {
+			return evRelease, nil
+		}
+		return evNone, nil // reading through the vector is not a transfer
+
+	case *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt,
+		*ast.TypeSwitchStmt, *ast.SelectStmt:
+		return evNone, nil
+
+	case *ast.DeferStmt:
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			rel := false
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if r, ok := m.(*ast.RangeStmt); ok && isRangeRelease(pass, r, vec) {
+					rel = true
+				}
+				return !rel
+			})
+			if rel {
+				return evDeferRelease, nil
+			}
+		}
+		if usesObjEscaping(pass, n, vec) {
+			return evEscape, nil
+		}
+		return evNone, nil
+
+	case *ast.ReturnStmt:
+		if usesObj(pass, n, vec) {
+			return evEscape, nil
+		}
+		// The error-return idiom does NOT apply to a vector: pins already
+		// gathered are live, so `return err` mid-scatter is the
+		// partial-failure leak, not a safe exit.
+		return evNone, nil
+
+	case *ast.AssignStmt:
+		// pins[i] = h / pins = append(pins, h) with more handles: the
+		// vector still owns everything.
+		if target := vecStoreTarget(pass, n); target == vec {
+			return evNone, nil
+		}
+		if usesObjEscaping(pass, n, vec) {
+			return evEscape, nil
+		}
+		return evNone, nil
+
+	default:
+		if usesObjEscaping(pass, n, vec) {
+			return evEscape, nil
+		}
+		return evNone, nil
+	}
+}
+
+// vecStore reports the local slice variable an assignment stores the
+// handle into: `vec[i] = h` or `vec = append(vec, h)`. Stores through
+// anything but a plain identifier (fields, dereferences, maps of
+// structs) remain escapes — ownership genuinely leaves the function's
+// view there.
+func vecStore(pass *analysis.Pass, n *ast.AssignStmt, handle types.Object) types.Object {
+	if handle == nil || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return nil
+	}
+	target := vecStoreTarget(pass, n)
+	if target == nil {
+		return nil
+	}
+	// The stored value must be the handle itself (possibly as an append
+	// argument), not some derived expression.
+	switch rhs := n.Rhs[0].(type) {
+	case *ast.Ident:
+		if pass.TypesInfo.Uses[rhs] == handle {
+			return target
+		}
+	case *ast.CallExpr:
+		if fn, ok := rhs.Fun.(*ast.Ident); ok && fn.Name == "append" {
+			for _, arg := range rhs.Args[1:] {
+				if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == handle {
+					return target
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// vecStoreTarget resolves the slice variable an assignment's LHS writes
+// into: the base identifier of `vec[i] = ...`, or `vec` for
+// `vec = append(vec, ...)`. Returns nil for any other shape.
+func vecStoreTarget(pass *analysis.Pass, n *ast.AssignStmt) types.Object {
+	if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return nil
+	}
+	var id *ast.Ident
+	switch lhs := n.Lhs[0].(type) {
+	case *ast.IndexExpr:
+		id, _ = lhs.X.(*ast.Ident)
+	case *ast.Ident:
+		call, ok := n.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" || len(call.Args) == 0 {
+			return nil
+		}
+		if first, ok := call.Args[0].(*ast.Ident); !ok || objOf(pass, first) != objOf(pass, lhs) {
+			return nil
+		}
+		id = lhs
+	default:
+		return nil
+	}
+	if id == nil {
+		return nil
+	}
+	obj := objOf(pass, id)
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+		return nil
+	}
+	return obj
+}
+
+// isRangeRelease recognizes the drain loop `for _, h := range vec {
+// ... h.Release() ... }` (or `h()` for callback pins): the range is over
+// the tracked vector and its body releases the per-iteration value.
+func isRangeRelease(pass *analysis.Pass, n *ast.RangeStmt, vec types.Object) bool {
+	x, ok := n.X.(*ast.Ident)
+	if !ok || objOf(pass, x) != vec {
+		return false
+	}
+	val, ok := n.Value.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	valObj := objOf(pass, val)
+	if valObj == nil {
+		return false
+	}
+	rel := false
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		if e, ok := m.(ast.Expr); ok && isReleaseCall(pass, e, valObj) {
+			rel = true
+		}
+		return !rel
+	})
+	return rel
+}
+
+// deferredRangeVecs collects, per function body, the local slice
+// variables some deferred closure drains with a range-release. The
+// coordinator idiom installs `defer func() { for _, h := range pins {
+// h.Release() } }()` before the scatter loop, so the defer statement
+// precedes the acquisitions in the CFG; recording it up front lets the
+// store-to-vector event inherit the coverage. (This over-approximates if
+// the defer is itself on a conditional path — acceptable for a leak
+// checker biased against false positives.)
+func deferredRangeVecs(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	vecs := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := d.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			r, ok := m.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if x, ok := r.X.(*ast.Ident); ok {
+				if obj := objOf(pass, x); obj != nil && isRangeRelease(pass, r, obj) {
+					vecs[obj] = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return vecs
 }
 
 // isReleaseCall matches v.Release() and release-callback invocation v().

@@ -1,0 +1,115 @@
+package pins
+
+// Multi-shard pin vectors: a coordinator pins one snapshot per shard,
+// holds the handles in a slice, and drains the slice with a range loop
+// (inline or deferred). These fixtures model that idiom and its
+// partial-failure leak.
+
+// --- legal patterns ---
+
+// The coordinator idiom: install the deferred drain before the scatter
+// loop, then gather pins. An early error return is safe — the deferred
+// range release covers every pin already in the vector.
+func legalVecDeferredDrain(es []*Engine) error {
+	pins := make([]*Snapshot, 0, len(es))
+	defer func() {
+		for _, h := range pins {
+			h.Release()
+		}
+	}()
+	for _, e := range es {
+		v, err := e.Acquire()
+		if err != nil {
+			return err
+		}
+		pins = append(pins, v)
+	}
+	return nil
+}
+
+// Indexed stores into a pre-sized vector, drained inline after the loop.
+func legalVecIndexedStore(ts []*Table) int {
+	pins := make([]*Snapshot, len(ts))
+	total := 0
+	for i, t := range ts {
+		snap := t.Snapshot()
+		pins[i] = snap
+		total += pins[i].Rows()
+	}
+	for _, h := range pins {
+		h.Release()
+	}
+	return total
+}
+
+// Release-callback pins gathered into a vector and drained by invoking
+// each callback.
+func legalVecReleaseFuncs(ts []*Table) {
+	var rels []func()
+	for range ts {
+		_, release := SnapshotSet(ts)
+		rels = append(rels, release)
+	}
+	for _, r := range rels {
+		r()
+	}
+}
+
+// The vector itself may escape: ownership of every pin moves with it.
+func legalVecTransfer(ts []*Table) []*Snapshot {
+	var pins []*Snapshot
+	for _, t := range ts {
+		snap := t.Snapshot()
+		pins = append(pins, snap)
+	}
+	return pins
+}
+
+// --- violations ---
+
+// The partial-failure leak: pins gathered so far are live when a later
+// acquisition fails, and `return err` abandons them — the error-return
+// idiom excuses only the handle that is nil, not the vector.
+func vecPartialFailureLeak(es []*Engine) error {
+	pins := make([]*Snapshot, len(es))
+	for i, e := range es {
+		v, err := e.Acquire() // want `not released on every path`
+		if err != nil {
+			return err // leaks pins[0..i-1]
+		}
+		pins[i] = v
+	}
+	for _, h := range pins {
+		h.Release()
+	}
+	return nil
+}
+
+// A vector that is gathered but never drained leaks every pin.
+func vecNeverDrained(ts []*Table) int {
+	var pins []*Snapshot
+	for _, t := range ts {
+		snap := t.Snapshot() // want `not released on every path`
+		pins = append(pins, snap)
+	}
+	total := 0
+	for _, h := range pins {
+		total += h.Rows() // reads, never releases
+	}
+	return total
+}
+
+// Draining the same vector twice releases every pin twice.
+func vecDoubleDrain(ts []*Table) {
+	pins := make([]*Snapshot, 0, len(ts))
+	for _, t := range ts {
+		snap := t.Snapshot()
+		pins = append(pins, snap)
+	}
+	for _, h := range pins {
+		h.Release()
+	}
+	for _, h := range pins { // want `double release`
+		h.Release()
+	}
+}

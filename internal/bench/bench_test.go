@@ -13,7 +13,7 @@ func tinyCfg() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablation", "compress", "crossover", "fig1", "fig10", "fig8", "fig9",
-		"ingest", "repeat", "table2", "table3", "table4", "table5", "trace"}
+		"ingest", "repeat", "shard", "table2", "table3", "table4", "table5", "trace"}
 	exps := Experiments()
 	if len(exps) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(exps), len(want))
@@ -56,8 +56,14 @@ func TestAllExperimentsRun(t *testing.T) {
 						t.Fatalf("%s: row width %d != header width %d", rep.ID, len(row), len(rep.Headers))
 					}
 					// Every measurement cell parses as a number (ratio
-					// cells carry an "x" suffix).
+					// cells carry an "x" suffix). Status and padding
+					// cells (the shard oracle column, blank totals) are
+					// exempt.
 					for _, cell := range row[1:] {
+						switch cell {
+						case "", "-", "ok", "MISMATCH":
+							continue
+						}
 						cell = strings.TrimSuffix(strings.Fields(cell)[0], "x")
 						if _, err := strconv.ParseFloat(cell, 64); err != nil {
 							t.Fatalf("%s: non-numeric cell %q", rep.ID, cell)

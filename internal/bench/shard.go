@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"astore/internal/agg"
+	"astore/internal/core"
+	"astore/internal/datagen/ssb"
+	"astore/internal/db"
+	"astore/internal/query"
+	"astore/internal/shard"
+)
+
+func init() {
+	register(Experiment{
+		ID: "shard",
+		Title: "Scale-out: sharded scatter-gather execution " +
+			"(per-shard partials + merge vs single-node)",
+		Run: runShard,
+	})
+}
+
+// runShard measures the sharded execution path over all 13 SSB queries
+// at 1, 2, and 4 local shards.
+//
+// This container is single-core, so a coordinator's wall clock runs the
+// shard scans serially and cannot show parallel speedup directly.
+// Instead the experiment times each shard's partial execution separately
+// and models the scatter latency a multi-machine (or multi-core)
+// deployment would see:
+//
+//	modeled scatter = max(per-shard partial exec) + merge
+//
+// which is exact for the scatter-gather protocol: the coordinator waits
+// for the slowest shard, then merges. The wall-clock column for 4 shards
+// is reported alongside so the merge + dispatch overhead on one core is
+// visible (wall ~= sum of shard times + merge).
+//
+// Every sharded result is checked bit-identical against the single-node
+// execution (SSB measures are integers, so tolerance is zero).
+func runShard(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	ctx := context.Background()
+	data := ssbData(cfg)
+	// The per-segment aggregate cache would absorb repeated runs and
+	// distort per-shard timings; disable it for honest scan costs.
+	d, err := db.Open(data.DB, core.Options{SegmentRows: 8192, AggCacheBytes: -1})
+	if err != nil {
+		return nil, err
+	}
+
+	queries := ssb.QueriesSQL()
+	names := make([]string, 0, len(queries))
+	for name := range queries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	coord, err := shard.New(d, shard.NewLocalWorkers(d, 4), shard.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID: "shard-scatter",
+		Title: fmt.Sprintf("SSB SF=%g: modeled scatter latency (max shard + merge) vs single-node, %d segments",
+			cfg.SF, segmentCount(d)),
+		Headers: []string{"query", "1-shard (ms)", "2-shard (ms)", "speedup",
+			"4-shard (ms)", "speedup", "4-shard wall (ms)", "merge (ms)", "oracle"},
+	}
+	var tot1, tot2, tot4, totWall time.Duration
+	for _, name := range names {
+		sqlText := queries[name]
+		p, err := d.PrepareSQL(sqlText)
+		if err != nil {
+			return nil, err
+		}
+
+		var want *query.Result
+		d1, err := best(cfg.Runs, func() error {
+			var st core.Stats
+			r, e := p.ExecStats(ctx, &st)
+			want = r
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		m2, _, res2, err := modelScatter(ctx, p, 2, cfg.Runs)
+		if err != nil {
+			return nil, err
+		}
+		m4, merge4, res4, err := modelScatter(ctx, p, 4, cfg.Runs)
+		if err != nil {
+			return nil, err
+		}
+
+		var cres *query.Result
+		wall, err := best(cfg.Runs, func() error {
+			r, _, e := coord.Exec(ctx, sqlText)
+			cres = r
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		oracle := "ok"
+		for _, got := range []*query.Result{res2, res4, cres} {
+			if err := query.Diff(want, got, 0); err != nil {
+				oracle = "MISMATCH"
+			}
+		}
+
+		tot1 += d1
+		tot2 += m2
+		tot4 += m4
+		totWall += wall
+		rep.Rows = append(rep.Rows, []string{
+			name, ms(d1),
+			ms(m2), speedup(d1, m2),
+			ms(m4), speedup(d1, m4),
+			ms(wall), ms(merge4), oracle,
+		})
+	}
+	rep.Rows = append(rep.Rows, []string{
+		"total", ms(tot1),
+		ms(tot2), speedup(tot1, tot2),
+		ms(tot4), speedup(tot1, tot4),
+		ms(totWall), "", "",
+	})
+	rep.Notes = append(rep.Notes,
+		"modeled scatter = max(per-shard partial exec) + merge; exact for the protocol (coordinator waits for the slowest shard)",
+		"single-core host: the wall column runs shards serially, so it shows dispatch+merge overhead, not parallelism",
+		"oracle: sharded results compared bit-identical (tolerance 0) against single-node execution",
+		"segment aggregate cache disabled so repeated runs measure real scan cost")
+	return []*Report{rep}, nil
+}
+
+// modelScatter times each shard's partial execution best-of-runs, then
+// the merge of the collected partials, returning the modeled scatter
+// latency components and the merged result for oracle checking.
+func modelScatter(ctx context.Context, p *db.Prepared, n, runs int) (modeled, merge time.Duration, res *query.Result, err error) {
+	parts := make([]*agg.Partial, n)
+	var maxShard time.Duration
+	for i := 0; i < n; i++ {
+		var pr *db.PartialResult
+		di, err := best(runs, func() error {
+			var st core.Stats
+			r, e := p.ExecPartial(ctx, db.PartialRequest{Shard: i, NShards: n}, &st)
+			pr = r
+			return e
+		})
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		parts[i] = pr.Partial
+		if di > maxShard {
+			maxShard = di
+		}
+	}
+	merge, err = best(runs, func() error {
+		var st core.Stats
+		r, e := p.MergePartials(ctx, parts, &st)
+		res = r
+		return e
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return maxShard + merge, merge, res, nil
+}
+
+// speedup renders d1/d2 as "N.NNx".
+func speedup(d1, d2 time.Duration) string {
+	if d2 <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(d1)/float64(d2))
+}
+
+// segmentCount reports the fact table's total segment count.
+func segmentCount(d *db.DB) int {
+	total := 0
+	for _, fact := range d.Facts() {
+		_, n := d.Catalog().Table(fact).SegmentCounts()
+		total += n
+	}
+	return total
+}

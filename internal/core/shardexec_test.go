@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"astore/internal/agg"
+	"astore/internal/query"
+	"astore/internal/storage"
+)
+
+// execOracle runs q single-node over the engine's pinned view.
+func execOracle(t *testing.T, eng *Engine, q *query.Query) *query.Result {
+	t.Helper()
+	v, err := eng.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release()
+	c, err := v.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Exec(context.Background(), v, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestExecPartialMergeEqualsExec is the partition-invariance property at
+// the engine layer: for every star query, splitting the pinned segment
+// views into arbitrary disjoint subsets, capturing one partial per subset,
+// and merging must reproduce the single-node result exactly — including
+// with deleted rows and an unsealed tail in the mix.
+func TestExecPartialMergeEqualsExec(t *testing.T) {
+	fact := segmentStar(t, 21, 5000, 512)
+	// Deletes punch holes into sealed segments; the trailing inserts leave
+	// an unsealed tail so every segment class is represented.
+	for _, r := range []int{10, 515, 516, 1030, 4999} {
+		if err := fact.Delete(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 37; i++ {
+		if _, err := fact.Insert(map[string]any{
+			"f_dk": i % 8, "f_ck": i % 50, "f_pk": i % 40,
+			"f_quantity": i%50 + 1, "f_discount": i % 11,
+			"f_extprice": 100 + i, "f_revenue": 90 + i, "f_supplycost": 50 + i,
+			"f_frac": float64(i%4) / 4, "f_tag": []string{"red", "green", "blue"}[i%3],
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := New(fact, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, q := range starQueries() {
+		want := execOracle(t, eng, q)
+		v, err := eng.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := v.Compile(q)
+		if err != nil {
+			v.Release()
+			t.Fatal(err)
+		}
+		segs := v.RootSegments()
+		for trial := 0; trial < 4; trial++ {
+			nShards := 1 + rng.Intn(4)
+			subsets := make([][]storage.SegView, nShards)
+			for i := range segs {
+				s := rng.Intn(nShards)
+				subsets[s] = append(subsets[s], segs[i])
+			}
+			parts := make([]*agg.Partial, nShards)
+			for s, sub := range subsets {
+				part, err := eng.ExecPartial(context.Background(), v, c, sub, nil)
+				if err != nil {
+					v.Release()
+					t.Fatalf("%s shard %d/%d: %v", q.Name, s, nShards, err)
+				}
+				parts[s] = part
+			}
+			got, err := eng.MergePartials(c, parts, nil)
+			if err != nil {
+				v.Release()
+				t.Fatalf("%s merge %d shards: %v", q.Name, nShards, err)
+			}
+			// Integer-valued measures merge exactly; the fixture's float
+			// queries tolerate reassociated addition.
+			if err := query.Diff(want, got, 1e-9); err != nil {
+				v.Release()
+				t.Fatalf("%s over %d shards: %v", q.Name, nShards, err)
+			}
+		}
+		v.Release()
+	}
+	if pins := fact.Pins(); pins != 0 {
+		t.Fatalf("leaked %d pins", pins)
+	}
+}
+
+// TestExecPartialWireRoundTrip pushes every shard partial through the wire
+// encoding before merging, as the HTTP transport does.
+func TestExecPartialWireRoundTrip(t *testing.T) {
+	fact := segmentStar(t, 22, 3000, 512)
+	eng, err := New(fact, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range starQueries() {
+		want := execOracle(t, eng, q)
+		v, err := eng.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := v.Compile(q)
+		if err != nil {
+			v.Release()
+			t.Fatal(err)
+		}
+		segs := v.RootSegments()
+		mid := len(segs) / 2
+		var parts []*agg.Partial
+		for _, sub := range [][]storage.SegView{segs[:mid], segs[mid:]} {
+			part, err := eng.ExecPartial(context.Background(), v, c, sub, nil)
+			if err != nil {
+				v.Release()
+				t.Fatal(err)
+			}
+			data, err := part.MarshalBinary()
+			if err != nil {
+				v.Release()
+				t.Fatal(err)
+			}
+			decoded, err := agg.UnmarshalPartial(data)
+			if err != nil {
+				v.Release()
+				t.Fatal(err)
+			}
+			parts = append(parts, decoded)
+		}
+		got, err := eng.MergePartials(c, parts, nil)
+		v.Release()
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if err := query.Diff(want, got, 1e-9); err != nil {
+			t.Fatalf("%s via wire: %v", q.Name, err)
+		}
+	}
+}
+
+// TestExecPartialEmptySubset captures a well-formed empty snapshot, and the
+// merged result of only-empty snapshots is the empty result.
+func TestExecPartialEmptySubset(t *testing.T) {
+	fact := segmentStar(t, 23, 1000, 512)
+	eng, err := New(fact, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := starQueries()[0]
+	v, err := eng.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release()
+	c, err := v.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := eng.ExecPartial(context.Background(), v, c, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Cells() != 0 || part.Rows() != 0 {
+		t.Fatalf("empty subset captured %d cells / %d rows", part.Cells(), part.Rows())
+	}
+	res, err := eng.MergePartials(c, []*agg.Partial{part, nil}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("empty merge produced %d rows", len(res.Rows))
+	}
+}
+
+// TestExecPartialRejectsRowWise: the row-wise baselines cannot export raw
+// aggregation state.
+func TestExecPartialRejectsRowWise(t *testing.T) {
+	fact := segmentStar(t, 24, 1000, 512)
+	eng, err := New(fact, Options{Variant: RowWise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := starQueries()[0]
+	v, err := eng.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release()
+	c, err := v.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExecPartial(context.Background(), v, c, v.RootSegments(), nil); err == nil ||
+		!strings.Contains(err.Error(), "columnar") {
+		t.Fatalf("row-wise partial execution allowed: err = %v", err)
+	}
+	if _, err := eng.MergePartials(c, nil, nil); err == nil || !strings.Contains(err.Error(), "columnar") {
+		t.Fatalf("row-wise partial merge allowed: err = %v", err)
+	}
+}

@@ -512,20 +512,7 @@ func (d *DB) execCounted(ctx context.Context, eng *core.Engine, view *core.View,
 	res, err := eng.Exec(ctx, view, c, stats)
 	if err == nil {
 		d.mu.Lock()
-		d.stats.SegmentsTotal += int64(stats.SegmentsTotal)
-		d.stats.SegmentsPruned += int64(stats.SegmentsPruned)
-		d.stats.RowsScanned += stats.RowsScanned
-		d.stats.RowsSelected += stats.RowsSelected
-		d.stats.EncodedSegments += int64(stats.EncodedSegments)
-		d.stats.TailRows += stats.TailRows
-		if len(stats.PruneByFilter) > 0 {
-			if d.stats.PruneByFilter == nil {
-				d.stats.PruneByFilter = make(map[string]int64)
-			}
-			for k, v := range stats.PruneByFilter {
-				d.stats.PruneByFilter[k] += int64(v)
-			}
-		}
+		d.foldStatsLocked(stats)
 		d.mu.Unlock()
 	}
 	return res, err

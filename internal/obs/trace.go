@@ -31,6 +31,7 @@ const (
 	StageScan      = "scan"       // morsel-parallel scan-and-filter
 	StageMerge     = "merge"      // aggregate merge / group extraction
 	StageExecute   = "execute"    // parent of prune/bind/scan/merge
+	StageScatter   = "scatter"    // coordinator fan-out to shard workers
 	StageRoot      = "query"      // root span
 )
 
@@ -64,6 +65,10 @@ type spanRec struct {
 	aggMisses int
 	tailRows  int64
 	hasAgg    bool
+
+	shards    int
+	merged    int
+	hasFanout bool
 }
 
 // Trace is a per-query span recorder. It is cheap enough to create per
@@ -160,6 +165,17 @@ func (t *Trace) SetAggCache(id SpanID, hits, misses int, tailRows int64) {
 	t.mu.Unlock()
 }
 
+// SetFanout attaches scatter-gather shape to a span: the number of shard
+// workers scattered to and the number of partial snapshots merged back.
+func (t *Trace) SetFanout(id SpanID, shards, merged int) {
+	t.mu.Lock()
+	if int(id) < len(t.spans) {
+		s := &t.spans[id]
+		s.shards, s.merged, s.hasFanout = shards, merged, true
+	}
+	t.mu.Unlock()
+}
+
 // SetHit marks a cache-lookup span as hit or miss.
 func (t *Trace) SetHit(id SpanID, hit bool) {
 	t.mu.Lock()
@@ -210,7 +226,11 @@ type Span struct {
 	// stage span: present (possibly all-zero) whenever the executor
 	// consulted the cache path, absent on spans that never touch it.
 	AggCache *AggCacheInfo `json:"agg_cache,omitempty"`
-	Children []*Span       `json:"children,omitempty"`
+	// Shards/PartialsMerged carry the fan-out shape of a "scatter" span on
+	// a sharded coordinator.
+	Shards         int     `json:"shards,omitempty"`
+	PartialsMerged int     `json:"partials_merged,omitempty"`
+	Children       []*Span `json:"children,omitempty"`
 }
 
 // AggCacheInfo summarizes one execution's segment aggregate cache usage.
@@ -253,6 +273,9 @@ func (t *Trace) Tree() *Span {
 		}
 		if r.hasAgg {
 			n.AggCache = &AggCacheInfo{Hits: r.aggHits, Misses: r.aggMisses, TailRows: r.tailRows}
+		}
+		if r.hasFanout {
+			n.Shards, n.PartialsMerged = r.shards, r.merged
 		}
 		nodes[i] = n
 	}
@@ -298,6 +321,9 @@ func formatSpan(b *strings.Builder, s *Span, depth int) {
 	if s.AggCache != nil {
 		fmt.Fprintf(b, "  segment agg cache: hits %d / misses %d / tail rows %d",
 			s.AggCache.Hits, s.AggCache.Misses, s.AggCache.TailRows)
+	}
+	if s.Shards != 0 {
+		fmt.Fprintf(b, "  shards %d, partials merged %d", s.Shards, s.PartialsMerged)
 	}
 	b.WriteByte('\n')
 	kids := append([]*Span(nil), s.Children...)

@@ -40,6 +40,15 @@ type appendResponse struct {
 // writers' copy-on-write keeps those stable.
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("table")
+	// A coordinator over remote workers owns no tail: forward ingest to the
+	// tail-owner shard (with in-process workers the local append IS the
+	// tail-owner append, since the workers share this DB).
+	if c := s.cfg.Coordinator; c != nil {
+		if base, ok := c.AppendTarget(); ok {
+			s.proxyAppend(w, r, base)
+			return
+		}
+	}
 	t := s.db.Catalog().Table(name)
 	if t == nil {
 		writeError(w, http.StatusNotFound, "no table %q", name)

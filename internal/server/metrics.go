@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"astore/internal/obs"
+	"astore/internal/shard"
 )
 
 // endpointMetrics are cumulative per-endpoint serving counters, updated
@@ -161,4 +162,6 @@ type Stats struct {
 	Admission     AdmissionStats           `json:"admission"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 	Tables        map[string]TableStats    `json:"tables"`
+	// Shard is present on coordinators: cumulative scatter-gather counters.
+	Shard *shard.Stats `json:"shard,omitempty"`
 }

@@ -15,6 +15,7 @@ import (
 	"astore/internal/expr"
 	"astore/internal/obs"
 	"astore/internal/query"
+	"astore/internal/shard"
 	"astore/internal/sql"
 )
 
@@ -181,13 +182,19 @@ func (s *Server) logSlowQuery(rid string, req *queryRequest, meta *queryMeta, re
 }
 
 // handleExplain serves EXPLAIN <select>: render the plan, execute nothing.
+// On a coordinator the plan gains the scatter-gather fan-out line.
 func (s *Server) handleExplain(w http.ResponseWriter, text string) {
-	p, err := s.db.PrepareSQL(text)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+	var fact, plan string
+	var err error
+	if c := s.cfg.Coordinator; c != nil {
+		fact, plan, err = c.Explain(text)
+	} else {
+		var p *db.Prepared
+		if p, err = s.db.PrepareSQL(text); err == nil {
+			fact = p.Fact()
+			plan, err = s.db.Engine(fact).Explain(p.Query())
+		}
 	}
-	plan, err := s.db.Engine(p.Fact()).Explain(p.Query())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -195,7 +202,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, text string) {
 	writeJSON(w, struct {
 		Fact    string `json:"fact"`
 		Explain string `json:"explain"`
-	}{Fact: p.Fact(), Explain: plan})
+	}{Fact: fact, Explain: plan})
 }
 
 // errQueuedTimeout marks a request whose deadline expired while it waited
@@ -255,6 +262,20 @@ func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*query.Result
 		return nil, meta, badRequest{err}
 	}
 	meta.fact = p.Fact()
+	// A coordinator executes scatter-gather instead of scanning locally;
+	// structured queries ship to workers via their canonical SQL rendering.
+	if c := s.cfg.Coordinator; c != nil {
+		text := req.SQL
+		if text == "" {
+			text = p.Signature()
+		}
+		res, cmeta, err := c.Exec(ctx, text)
+		if err != nil {
+			return nil, meta, err
+		}
+		meta.stats = cmeta.Stats
+		return res, meta, nil
+	}
 	// Plan-hit attribution for the slow log: a cumulative-counter delta,
 	// exact when queries do not overlap and advisory otherwise.
 	var hitsBefore int64
@@ -273,14 +294,18 @@ func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*query.Result
 
 // writeQueryError maps a runQuery error to its response: overload to 503
 // with Retry-After, client mistakes to 400, the execution deadline to 504,
-// client disconnect to 499, anything else to 500.
+// client disconnect to 499, a fail-closed shard inconsistency to 503
+// (retrying pins a fresh snapshot), anything else to 500.
 func (s *Server) writeQueryError(w http.ResponseWriter, timeout time.Duration, err error) {
 	var br badRequest
+	var inc *shard.InconsistentError
 	switch {
 	case errors.Is(err, errOverloaded):
 		s.writeOverloaded(w, "query capacity exhausted")
 	case errors.Is(err, errQueuedTimeout):
 		s.writeOverloaded(w, "queued past the request deadline")
+	case errors.As(err, &inc):
+		s.writeOverloaded(w, inc.Error())
 	case errors.As(err, &br):
 		writeError(w, http.StatusBadRequest, "%v", br.err)
 	case errors.Is(err, context.DeadlineExceeded):

@@ -38,6 +38,7 @@ import (
 
 	"astore/internal/db"
 	"astore/internal/obs"
+	"astore/internal/shard"
 )
 
 // Config tunes the server. The zero value serves with sensible defaults.
@@ -73,6 +74,14 @@ type Config struct {
 	// Logf, when non-nil, receives one line per serving incident (panics,
 	// shutdown); it is never called on the per-request fast path.
 	Logf func(format string, args ...any)
+
+	// Coordinator, when non-nil, routes query executions scatter-gather
+	// across its shard workers instead of executing locally; /healthz
+	// reports per-worker reachability and /v1/stats gains a shard section.
+	Coordinator *shard.Coordinator
+	// ShardWorker mounts POST /v1/shard/exec so this server can serve
+	// shard-local partial executions to a remote coordinator.
+	ShardWorker bool
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +125,9 @@ type Server struct {
 	adm   *admission
 	mux   *http.ServeMux
 	start time.Time
+	// instance identifies this server process; shard responses carry it as
+	// their version domain.
+	instance string
 
 	reg  *obs.Registry
 	met  serverMetrics
@@ -150,16 +162,23 @@ func New(d *db.DB, cfg Config) *Server {
 		adm:       newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
+		instance:  obs.NewRequestID(),
 		endpoints: make(map[string]*endpointMetrics),
 	}
 	s.drainCond = sync.NewCond(&s.drainMu)
 	s.initMetrics()
+	if cfg.Coordinator != nil {
+		cfg.Coordinator.RegisterMetrics(s.reg)
+	}
 	s.slow = obs.NewSlowLog(cfg.SlowQueryWriter, cfg.SlowQuery)
 	s.handle("POST /v1/query", "query", s.handleQuery)
 	s.handle("POST /v1/tables/{table}/append", "append", s.handleAppend)
 	s.handle("GET /healthz", "healthz", s.handleHealthz)
 	s.handle("GET /v1/stats", "stats", s.handleStats)
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
+	if cfg.ShardWorker {
+		s.handle("POST /v1/shard/exec", "shard_exec", s.handleShardExec)
+	}
 	return s
 }
 
@@ -385,11 +404,20 @@ func writeJSON(w http.ResponseWriter, v any) {
 // balancers stop routing here.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		Status   string   `json:"status"`
-		Facts    []string `json:"facts"`
-		UptimeMS int64    `json:"uptime_ms"`
+		Status   string               `json:"status"`
+		Facts    []string             `json:"facts"`
+		UptimeMS int64                `json:"uptime_ms"`
+		Shards   []shard.WorkerHealth `json:"shards,omitempty"`
 	}
 	h := health{Status: "ok", Facts: s.db.Facts(), UptimeMS: time.Since(s.start).Milliseconds()}
+	if c := s.cfg.Coordinator; c != nil {
+		h.Shards = c.Health(r.Context())
+		for _, ws := range h.Shards {
+			if !ws.Reachable {
+				h.Status = "degraded"
+			}
+		}
+	}
 	if s.closing.Load() {
 		h.Status = "draining"
 		w.Header().Set("Content-Type", "application/json")
@@ -452,6 +480,10 @@ func (s *Server) StatsSnapshot() Stats {
 		},
 		Endpoints: make(map[string]EndpointStats, len(s.endpoints)),
 		Tables:    s.tableStats(),
+	}
+	if c := s.cfg.Coordinator; c != nil {
+		cs := c.Stats()
+		st.Shard = &cs
 	}
 	for name, m := range s.endpoints {
 		st.Endpoints[name] = m.snapshot()

@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHTTPWorkerRetriesTransient: a 503 answer is retried once after the
+// backoff and the second answer is used.
+func TestHTTPWorkerRetriesTransient(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"count":2}`))
+	}))
+	defer ts.Close()
+	hw := NewHTTPWorker(ts.URL, time.Second)
+	hw.Backoff = time.Millisecond
+	n, err := hw.Append(context.Background(), "supplier", []map[string]any{{"a": 1}, {"a": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || calls.Load() != 2 {
+		t.Fatalf("count %d after %d calls, want 2 after 2", n, calls.Load())
+	}
+}
+
+// TestHTTPWorkerNoRetryOnClientError: a 400 is terminal — no second call.
+func TestHTTPWorkerNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad row", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	hw := NewHTTPWorker(ts.URL, time.Second)
+	hw.Backoff = time.Millisecond
+	if _, err := hw.Append(context.Background(), "supplier", nil); err == nil {
+		t.Fatal("want error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d calls, want 1 (client errors are not transient)", calls.Load())
+	}
+}
+
+// TestHTTPWorkerRetryExhausted: two consecutive 503s surface as an error
+// after exactly two attempts.
+func TestHTTPWorkerRetryExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "still draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	hw := NewHTTPWorker(ts.URL, time.Second)
+	hw.Backoff = time.Millisecond
+	_, err := hw.Exec(context.Background(), ExecRequest{SQL: "SELECT 1"})
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("want 503 error, got %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d calls, want 2 (one retry)", calls.Load())
+	}
+}
+
+// TestHTTPWorkerNoRetryAfterCancel: a canceled context is not retried.
+func TestHTTPWorkerNoRetryAfterCancel(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release)
+	hw := NewHTTPWorker(ts.URL, 10*time.Second)
+	hw.Backoff = time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := hw.Exec(ctx, ExecRequest{SQL: "SELECT 1"}); err == nil {
+		t.Fatal("want error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d calls, want 1 (cancellation is not transient)", calls.Load())
+	}
+}
+
+// TestCoordinatorTimeoutNamesShard: a worker that exceeds its deadline
+// produces a WorkerError naming the shard, and the failure counter ticks.
+func TestCoordinatorTimeoutNamesShard(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	defer close(release)
+	d := protoDB(t)
+	hw := NewHTTPWorker(ts.URL, 80*time.Millisecond)
+	c, err := New(d, []Worker{hw}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.Exec(context.Background(), protoSQL)
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("want WorkerError, got %v", err)
+	}
+	if we.Worker != hw.Name() || !strings.Contains(err.Error(), "shard "+hw.Name()) {
+		t.Fatalf("error does not name the shard: %v", err)
+	}
+	if c.Stats().Failures != 1 {
+		t.Fatalf("failures %d, want 1", c.Stats().Failures)
+	}
+}
+
+// TestCoordinatorUnreachableNamesShard: a closed listener (connection
+// refused) also surfaces as a WorkerError naming the shard.
+func TestCoordinatorUnreachableNamesShard(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+	d := protoDB(t)
+	hw := NewHTTPWorker(url, time.Second)
+	hw.Backoff = time.Millisecond
+	c, err := New(d, []Worker{hw}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.Ping(context.Background()); err == nil {
+		t.Fatal("ping against a closed listener should fail")
+	}
+	_, _, err = c.Exec(context.Background(), protoSQL)
+	var we *WorkerError
+	if !errors.As(err, &we) || we.Worker != hw.Name() {
+		t.Fatalf("want WorkerError for %s, got %v", hw.Name(), err)
+	}
+}

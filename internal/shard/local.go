@@ -1,0 +1,111 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"astore/internal/core"
+	"astore/internal/db"
+	"astore/internal/storage"
+)
+
+// localDomain numbers NewLocalWorkers calls so distinct worker sets get
+// distinct version domains.
+var localDomain atomic.Int64
+
+// LocalWorker executes partial queries in-process against a db.DB,
+// restricted to the canonical segment slice of (shard, nshards). All
+// workers of one NewLocalWorkers call share the DB — and therefore its
+// plan cache and per-segment aggregate cache — and one version domain.
+type LocalWorker struct {
+	d              *db.DB
+	name           string
+	domain         string
+	shard, nshards int
+
+	// Select, when non-nil, overrides the canonical partition (tests).
+	Select func(i int, sv *storage.SegView) bool
+
+	mu    sync.Mutex
+	preps map[string]*db.Prepared
+}
+
+// NewLocalWorkers builds n in-process workers over one DB, worker i owning
+// the canonical segment slice (i, n).
+func NewLocalWorkers(d *db.DB, n int) []Worker {
+	if n < 1 {
+		n = 1
+	}
+	dom := fmt.Sprintf("local-%d", localDomain.Add(1))
+	ws := make([]Worker, n)
+	for i := 0; i < n; i++ {
+		ws[i] = &LocalWorker{
+			d:       d,
+			name:    fmt.Sprintf("local%d", i),
+			domain:  dom,
+			shard:   i,
+			nshards: n,
+			preps:   make(map[string]*db.Prepared),
+		}
+	}
+	return ws
+}
+
+// Name implements Worker.
+func (w *LocalWorker) Name() string { return w.name }
+
+// prepared returns the worker's cached prepared statement for the text,
+// preparing on first use. Preparing is cheap (the compiled plan itself
+// lives in the DB's shared plan cache), so the map only avoids re-parsing;
+// it is reset rather than evicted when it grows past a sane bound.
+func (w *LocalWorker) prepared(text string) (*db.Prepared, error) {
+	w.mu.Lock()
+	if p, ok := w.preps[text]; ok {
+		w.mu.Unlock()
+		return p, nil
+	}
+	w.mu.Unlock()
+	p, err := w.d.PrepareSQL(text)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if len(w.preps) >= 256 {
+		w.preps = make(map[string]*db.Prepared)
+	}
+	w.preps[text] = p
+	w.mu.Unlock()
+	return p, nil
+}
+
+// Exec implements Worker: pin, verify the expectation, scan the shard's
+// segment slice, capture.
+func (w *LocalWorker) Exec(ctx context.Context, req ExecRequest) (*ExecResult, error) {
+	p, err := w.prepared(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	var st core.Stats
+	res, err := p.ExecPartial(ctx, db.PartialRequest{
+		Shard:             w.shard,
+		NShards:           w.nshards,
+		Select:            w.Select,
+		ExpectDataVersion: req.ExpectDataVersion,
+	}, &st)
+	if err != nil {
+		return nil, err
+	}
+	return &ExecResult{
+		Fact:          res.Fact,
+		Domain:        w.domain,
+		SchemaVersion: res.SchemaVersion,
+		DataVersion:   res.DataVersion,
+		Partial:       res.Partial,
+		Stats:         st,
+	}, nil
+}
+
+// Ping implements Worker; an in-process worker is always reachable.
+func (w *LocalWorker) Ping(ctx context.Context) error { return ctx.Err() }

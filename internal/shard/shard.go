@@ -1,0 +1,85 @@
+// Package shard executes compiled queries scatter-gather across segment
+// shards. A Coordinator partitions a fact table's segments over N workers
+// (in-process LocalWorkers sharing the coordinator's DB, or remote HTTP
+// workers), fans one prepared statement out, and merges the returned raw
+// aggregate snapshots (agg.Partial) into the final ordered rows — the
+// partial-aggregate algebra guarantees the merged result equals a
+// single-node scan over the union of the shards' segments.
+//
+// Snapshot consistency across shards is enforced with a per-query
+// (shard → data_version) vector: the first scatter is optimistic (every
+// worker pins whatever version is current and reports it), the gather
+// validates that all workers of one data domain pinned the same version,
+// and a disagreement triggers exactly one re-pin pass with pinned-version
+// expectations before the query fails closed with InconsistentError.
+// Appends route to the shard that owns the mutable tail (shard 0), so at
+// most one worker ever scans live rows.
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"astore/internal/agg"
+	"astore/internal/core"
+)
+
+// ExecRequest is one shard-local execution order: the statement to run and
+// the coordinator's pinned-version expectation (0 = pin whatever is
+// current and report it).
+type ExecRequest struct {
+	SQL               string
+	ExpectDataVersion uint64
+}
+
+// ExecResult is a worker's reply: the captured aggregation snapshot plus
+// the snapshot identity the coordinator validates its version vector with.
+// Domain names the data universe the versions are comparable within — all
+// in-process workers over one DB share a domain, while each remote worker
+// is its own (versions of distinct server processes are incomparable).
+type ExecResult struct {
+	Fact          string
+	Domain        string
+	SchemaVersion uint64
+	DataVersion   uint64
+	Partial       *agg.Partial
+	Stats         core.Stats
+}
+
+// Worker executes shard-local partial queries. Implementations: LocalWorker
+// (in-process, segment-subset restricted) and HTTPWorker (remote).
+type Worker interface {
+	// Name identifies the worker in errors, metrics, and version vectors.
+	Name() string
+	// Exec runs the statement over the worker's segment slice and captures
+	// the partial aggregation state.
+	Exec(ctx context.Context, req ExecRequest) (*ExecResult, error)
+	// Ping reports reachability (used by /healthz).
+	Ping(ctx context.Context) error
+}
+
+// WorkerError names the shard a scatter-side failure came from.
+type WorkerError struct {
+	Worker string
+	Err    error
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("shard %s: %v", e.Worker, e.Err)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// InconsistentError reports a scatter that could not pin one consistent
+// snapshot across all shards of a domain, even after the bounded re-pin
+// retry. Versions is the (worker → data_version) vector of the failed
+// attempt.
+type InconsistentError struct {
+	Fact     string
+	Versions map[string]uint64
+}
+
+func (e *InconsistentError) Error() string {
+	return fmt.Sprintf("shard: no consistent snapshot of fact %s across shards after re-pin (versions %v)",
+		e.Fact, e.Versions)
+}
